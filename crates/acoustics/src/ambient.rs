@@ -1,0 +1,160 @@
+//! Ambient noise profiles.
+//!
+//! The paper evaluates in two rooms: a datacenter (noise "may exceed
+//! 85 dBA", dominated by hundreds of fans and HVAC) and an office
+//! (conversation-level, ~50 dB). A profile renders a deterministic noise
+//! bed at a calibrated SPL; the fan-failure experiment (§7 / Figures 6–7)
+//! runs the same detector against both.
+
+use mdn_audio::noise::{band_noise, pink_noise, white_noise};
+use mdn_audio::signal::{spl_to_amplitude, Signal};
+use mdn_audio::synth::Tone;
+use std::time::Duration;
+
+/// A parametric ambient noise bed.
+#[derive(Debug, Clone)]
+pub struct AmbientProfile {
+    /// Human-readable name ("datacenter", "office", …).
+    pub name: &'static str,
+    /// Overall level of the bed in dB SPL.
+    pub level_spl: f64,
+    /// Fraction of the bed's amplitude that is pink (vs white) noise.
+    pub pink_fraction: f64,
+    /// Extra band-limited rumble: `(lo_hz, hi_hz, relative_amplitude)`.
+    pub rumble_band: Option<(f64, f64, f64)>,
+    /// Steady hum lines (mains/HVAC): `(freq_hz, relative_amplitude)`.
+    pub hum_lines: Vec<(f64, f64)>,
+}
+
+impl AmbientProfile {
+    /// Near-silence: an anechoic-ish room at 20 dB SPL, for unit tests that
+    /// want the channel without the environment.
+    pub fn quiet() -> Self {
+        Self {
+            name: "quiet",
+            level_spl: 20.0,
+            pink_fraction: 1.0,
+            rumble_band: None,
+            hum_lines: Vec::new(),
+        }
+    }
+
+    /// An office at ~45 dB SPL: pink-dominated, light 60 Hz hum.
+    pub fn office() -> Self {
+        Self {
+            name: "office",
+            level_spl: 45.0,
+            pink_fraction: 0.8,
+            rumble_band: None,
+            hum_lines: vec![(60.0, 0.2), (120.0, 0.1)],
+        }
+    }
+
+    /// A datacenter at ~80 dB SPL: broadband fan wash (100 Hz – 4 kHz),
+    /// strong HVAC rumble and mains-harmonic hum — the paper's "typical
+    /// datacenter noise".
+    pub fn datacenter() -> Self {
+        Self {
+            name: "datacenter",
+            level_spl: 80.0,
+            pink_fraction: 0.5,
+            rumble_band: Some((100.0, 4000.0, 0.7)),
+            hum_lines: vec![(60.0, 0.3), (120.0, 0.25), (240.0, 0.15), (360.0, 0.1)],
+        }
+    }
+
+    /// Render `duration` of the bed at `sample_rate`, deterministic under
+    /// `seed`. The mixed bed is normalized so its RMS matches
+    /// [`Self::level_spl`] under the crate's SPL calibration.
+    pub fn render(&self, duration: Duration, sample_rate: u32, seed: u64) -> Signal {
+        let target_rms = spl_to_amplitude(self.level_spl);
+        let mut bed = Signal::silence(duration, sample_rate);
+        if bed.is_empty() {
+            return bed;
+        }
+        let pink = pink_noise(duration, self.pink_fraction, sample_rate, seed);
+        bed.mix_at(&pink, 0);
+        if self.pink_fraction < 1.0 {
+            let white = white_noise(duration, 1.0 - self.pink_fraction, sample_rate, seed ^ 0x11);
+            bed.mix_at(&white, 0);
+        }
+        if let Some((lo, hi, amp)) = self.rumble_band {
+            let rumble = band_noise(duration, lo, hi, amp, sample_rate, seed ^ 0x22);
+            bed.mix_at(&rumble, 0);
+        }
+        for (i, &(freq, amp)) in self.hum_lines.iter().enumerate() {
+            let hum = Tone {
+                phase: i as f64,
+                ..Tone::new(freq, duration, amp)
+            }
+            .render(sample_rate);
+            bed.mix_at(&hum, 0);
+        }
+        let rms = bed.rms().max(1e-12);
+        bed.scale(target_rms / rms);
+        bed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SR: u32 = 44_100;
+    const SEC: Duration = Duration::from_secs(1);
+
+    #[test]
+    fn rendered_level_matches_spl() {
+        for profile in [
+            AmbientProfile::quiet(),
+            AmbientProfile::office(),
+            AmbientProfile::datacenter(),
+        ] {
+            let bed = profile.render(SEC, SR, 1);
+            let err = (bed.rms_spl() - profile.level_spl).abs();
+            assert!(
+                err < 0.5,
+                "{}: rms {} dB vs {} dB",
+                profile.name,
+                bed.rms_spl(),
+                profile.level_spl
+            );
+        }
+    }
+
+    #[test]
+    fn datacenter_is_much_louder_than_office() {
+        let dc = AmbientProfile::datacenter().render(SEC, SR, 1);
+        let office = AmbientProfile::office().render(SEC, SR, 1);
+        // 35 dB difference → ~56× in amplitude.
+        assert!(dc.rms() > 30.0 * office.rms());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let p = AmbientProfile::datacenter();
+        let a = p.render(Duration::from_millis(200), SR, 9);
+        let b = p.render(Duration::from_millis(200), SR, 9);
+        assert_eq!(a.samples(), b.samples());
+        let c = p.render(Duration::from_millis(200), SR, 10);
+        assert_ne!(a.samples(), c.samples());
+    }
+
+    #[test]
+    fn datacenter_has_hum_lines() {
+        use mdn_audio::spectral::Spectrum;
+        let bed = AmbientProfile::datacenter().render(Duration::from_secs(2), SR, 4);
+        let spec = Spectrum::of(&bed);
+        // 120 Hz hum should stand above the neighbouring broadband floor.
+        let hum = spec.magnitude_at(120.0);
+        let floor = spec.magnitude_at(95.0).max(spec.magnitude_at(145.0));
+        assert!(hum > 1.5 * floor, "hum {hum} floor {floor}");
+    }
+
+    #[test]
+    fn zero_duration_is_empty() {
+        assert!(AmbientProfile::office()
+            .render(Duration::ZERO, SR, 1)
+            .is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! # mdn-acoustics — the physical channel for Music-Defined Networking
+//!
+//! Models the hardware half of the paper's testbed: the speakers wired to
+//! each switch's Raspberry Pi, the microphones the MDN controller listens
+//! through, the air in between, and the room's ambient noise.
+//!
+//! * [`speaker`] — speaker response band, 30 ms tone floor, level clamping;
+//! * [`mic`] — microphone ADC models (cheap / measurement / ultrasound);
+//! * [`medium`] — spherical spreading, air absorption, propagation delay;
+//! * [`ambient`] — datacenter / office / quiet noise beds at calibrated SPL;
+//! * [`scene`] — schedule emissions, render or capture at any listener
+//!   position.
+//!
+//! ```
+//! use mdn_acoustics::{scene::Scene, speaker::{Speaker, ToneRequest}, mic::Microphone, medium::Pos};
+//! use std::time::Duration;
+//!
+//! let mut scene = Scene::quiet(44_100);
+//! let speaker = Speaker::cheap();
+//! let tone = speaker
+//!     .play(ToneRequest { freq_hz: 700.0, duration: Duration::from_millis(50), level_spl: 60.0 }, 44_100)
+//!     .unwrap();
+//! scene.add(Pos::ORIGIN, Duration::ZERO, tone, "switch-0");
+//! let heard = scene.capture(&Microphone::measurement(), Pos::new(0.5, 0.0, 0.0), Duration::from_millis(60));
+//! assert!(!heard.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ambient;
+pub mod medium;
+pub mod mic;
+pub mod scene;
+pub mod speaker;
+
+pub use ambient::AmbientProfile;
+pub use medium::Pos;
+pub use mic::Microphone;
+pub use scene::Scene;
+pub use speaker::{Speaker, ToneRequest};

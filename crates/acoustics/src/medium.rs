@@ -1,0 +1,133 @@
+//! Air propagation.
+//!
+//! Point-source spherical spreading: amplitude falls as `1/r` relative to
+//! the 1 m reference distance at which speakers are calibrated, and sound
+//! travels at 343 m/s, so distant sources arrive late. High-frequency air
+//! absorption is modeled as a gentle per-metre dB/kHz loss — enough to make
+//! the paper's "close-range, single-hop" caveat measurable.
+
+/// Speed of sound in air at ~20 °C, m/s.
+pub const SPEED_OF_SOUND: f64 = 343.0;
+
+/// Reference distance (m) at which speaker output levels are specified.
+pub const REFERENCE_DISTANCE: f64 = 1.0;
+
+/// Closest modelled approach (m): inside this the source is no longer a
+/// point and the inverse law stops applying.
+pub const NEAR_FIELD_LIMIT: f64 = 0.05;
+
+/// Air absorption coefficient: extra attenuation in dB per metre per kHz.
+/// A coarse flat-weather approximation of ISO 9613-1.
+pub const ABSORPTION_DB_PER_M_PER_KHZ: f64 = 0.012;
+
+/// A position in metres. The testbeds are rack-scale so a flat 3-D point is
+/// plenty.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Pos {
+    /// x in metres.
+    pub x: f64,
+    /// y in metres.
+    pub y: f64,
+    /// z in metres.
+    pub z: f64,
+}
+
+impl Pos {
+    /// Construct a position.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// The origin.
+    pub const ORIGIN: Pos = Pos::new(0.0, 0.0, 0.0);
+
+    /// Euclidean distance to another position, metres.
+    pub fn distance(&self, other: &Pos) -> f64 {
+        let (dx, dy, dz) = (self.x - other.x, self.y - other.y, self.z - other.z);
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+}
+
+/// Spherical-spreading amplitude gain at `distance` metres: `1/r` relative
+/// to the 1 m reference, so a closely-placed microphone (the paper's §7
+/// answer) genuinely gains level. Clamped at [`NEAR_FIELD_LIMIT`].
+#[inline]
+pub fn spreading_gain(distance: f64) -> f64 {
+    REFERENCE_DISTANCE / distance.max(NEAR_FIELD_LIMIT)
+}
+
+/// Frequency-dependent air absorption gain over `distance` metres at
+/// `freq_hz`.
+#[inline]
+pub fn absorption_gain(distance: f64, freq_hz: f64) -> f64 {
+    let db = ABSORPTION_DB_PER_M_PER_KHZ * distance.max(0.0) * (freq_hz / 1000.0);
+    10f64.powf(-db / 20.0)
+}
+
+/// Combined propagation gain (spreading × absorption) for a tone at
+/// `freq_hz` over `distance` metres. For broadband signals the scene uses
+/// the spreading term only (absorption is small at rack scale).
+#[inline]
+pub fn propagation_gain(distance: f64, freq_hz: f64) -> f64 {
+    spreading_gain(distance) * absorption_gain(distance, freq_hz)
+}
+
+/// Propagation delay in seconds over `distance` metres.
+#[inline]
+pub fn propagation_delay_s(distance: f64) -> f64 {
+    distance.max(0.0) / SPEED_OF_SOUND
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Pos::new(0.0, 0.0, 0.0);
+        let b = Pos::new(3.0, 4.0, 0.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_is_unity_at_reference_and_rises_closer() {
+        assert_eq!(spreading_gain(1.0), 1.0);
+        assert!((spreading_gain(0.5) - 2.0).abs() < 1e-12);
+        // Near-field clamp: no infinite gain at contact.
+        assert_eq!(spreading_gain(0.0), 1.0 / NEAR_FIELD_LIMIT);
+        assert_eq!(spreading_gain(0.01), 1.0 / NEAR_FIELD_LIMIT);
+    }
+
+    #[test]
+    fn gain_follows_inverse_distance() {
+        assert!((spreading_gain(2.0) - 0.5).abs() < 1e-12);
+        assert!((spreading_gain(10.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn doubling_distance_costs_6db() {
+        use mdn_audio::signal::ratio_to_db;
+        let loss = ratio_to_db(spreading_gain(4.0)) - ratio_to_db(spreading_gain(2.0));
+        assert!((loss + 6.0206).abs() < 0.01);
+    }
+
+    #[test]
+    fn absorption_grows_with_frequency_and_distance() {
+        assert!(absorption_gain(10.0, 10_000.0) < absorption_gain(10.0, 1_000.0));
+        assert!(absorption_gain(100.0, 1_000.0) < absorption_gain(1.0, 1_000.0));
+        assert!(absorption_gain(0.0, 20_000.0) == 1.0);
+    }
+
+    #[test]
+    fn delay_at_speed_of_sound() {
+        assert!((propagation_delay_s(343.0) - 1.0).abs() < 1e-12);
+        assert_eq!(propagation_delay_s(0.0), 0.0);
+    }
+
+    #[test]
+    fn combined_gain_bounded_by_parts() {
+        let g = propagation_gain(5.0, 8_000.0);
+        assert!(g <= spreading_gain(5.0));
+        assert!(g > 0.0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Acoustic scenes: emitters + ambient + listeners.
+//!
+//! A [`Scene`] collects every sound event in an experiment — the tones
+//! switches play, the background music, the fan — each at a position and a
+//! start time, plus an ambient profile. Rendering for a listener mixes all
+//! of it with per-source distance attenuation and propagation delay, which
+//! is exactly the pressure field a microphone at that spot would see.
+
+use crate::ambient::AmbientProfile;
+use crate::medium::{propagation_delay_s, spreading_gain, Pos};
+use crate::mic::Microphone;
+use mdn_audio::Signal;
+use std::time::Duration;
+
+/// One scheduled sound in the scene.
+#[derive(Debug, Clone)]
+pub struct Emission {
+    /// Where the source sits.
+    pub pos: Pos,
+    /// When the source starts playing (scene time).
+    pub start: Duration,
+    /// What it plays (pressure at the 1 m reference distance).
+    pub signal: Signal,
+    /// Label for debugging/tracing (e.g. "switch-3").
+    pub label: String,
+}
+
+/// A collection of emissions over a shared timeline, with an ambient bed.
+#[derive(Debug, Clone)]
+pub struct Scene {
+    sample_rate: u32,
+    emissions: Vec<Emission>,
+    ambient: AmbientProfile,
+    ambient_seed: u64,
+}
+
+impl Scene {
+    /// An empty scene at `sample_rate` with the given ambient profile.
+    pub fn new(sample_rate: u32, ambient: AmbientProfile) -> Self {
+        assert!(sample_rate > 0);
+        Self {
+            sample_rate,
+            emissions: Vec::new(),
+            ambient,
+            ambient_seed: 0,
+        }
+    }
+
+    /// A quiet scene (20 dB SPL ambient) — the default for unit tests.
+    pub fn quiet(sample_rate: u32) -> Self {
+        Self::new(sample_rate, AmbientProfile::quiet())
+    }
+
+    /// Replace the ambient noise seed (defaults to 0).
+    pub fn set_ambient_seed(&mut self, seed: u64) {
+        self.ambient_seed = seed;
+    }
+
+    /// The scene's sample rate.
+    pub fn sample_rate(&self) -> u32 {
+        self.sample_rate
+    }
+
+    /// Schedule `signal` to play from `pos` starting at `start`.
+    ///
+    /// # Panics
+    /// Panics if the signal's sample rate differs from the scene's.
+    pub fn add(&mut self, pos: Pos, start: Duration, signal: Signal, label: impl Into<String>) {
+        assert_eq!(
+            signal.sample_rate(),
+            self.sample_rate,
+            "emission sample rate must match the scene"
+        );
+        self.emissions.push(Emission {
+            pos,
+            start,
+            signal,
+            label: label.into(),
+        });
+    }
+
+    /// Number of scheduled emissions.
+    pub fn num_emissions(&self) -> usize {
+        self.emissions.len()
+    }
+
+    /// The scheduled emissions.
+    pub fn emissions(&self) -> &[Emission] {
+        &self.emissions
+    }
+
+    /// Time at which the last emission finishes (ignoring propagation
+    /// delay), or zero for an empty scene.
+    pub fn end_time(&self) -> Duration {
+        self.emissions
+            .iter()
+            .map(|e| e.start + e.signal.duration())
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Render the pressure signal an ideal listener at `listener` would
+    /// observe over `[0, duration)`: all emissions attenuated by distance,
+    /// delayed by propagation, plus the ambient bed.
+    pub fn render_at(&self, listener: Pos, duration: Duration) -> Signal {
+        let mut out = self
+            .ambient
+            .render(duration, self.sample_rate, self.ambient_seed);
+        if out.is_empty() {
+            return out;
+        }
+        let total_len = out.len();
+        for e in &self.emissions {
+            let dist = e.pos.distance(&listener);
+            let gain = spreading_gain(dist);
+            let delay = Duration::from_secs_f64(propagation_delay_s(dist));
+            let at = e.start + delay;
+            if at >= duration {
+                continue;
+            }
+            let attenuated = e.signal.scaled(gain);
+            out.mix_at_time(&attenuated, at);
+        }
+        // mix_at_time may have grown the buffer past `duration`; trim back.
+        out.slice(0, total_len)
+    }
+
+    /// Render the scene at the microphone's position and pass it through
+    /// the microphone's capture chain (band limit, ADC resample, noise
+    /// floor, clipping).
+    pub fn capture(&self, mic: &Microphone, at: Pos, duration: Duration) -> Signal {
+        mic.capture(&self.render_at(at, duration))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdn_audio::signal::spl_to_amplitude;
+    use mdn_audio::spectral::Spectrum;
+    use mdn_audio::synth::Tone;
+
+    const SR: u32 = 44_100;
+
+    fn tone(freq: f64, ms: u64, spl: f64) -> Signal {
+        Tone::new(freq, Duration::from_millis(ms), spl_to_amplitude(spl)).render(SR)
+    }
+
+    #[test]
+    fn empty_scene_renders_ambient_only() {
+        let scene = Scene::quiet(SR);
+        let out = scene.render_at(Pos::ORIGIN, Duration::from_millis(200));
+        assert_eq!(out.len(), 8820);
+        // Quiet ambient: ~20 dB SPL.
+        assert!((out.rms_spl() - 20.0).abs() < 2.0, "got {}", out.rms_spl());
+    }
+
+    #[test]
+    fn nearby_tone_dominates_render() {
+        let mut scene = Scene::quiet(SR);
+        scene.add(Pos::ORIGIN, Duration::ZERO, tone(1000.0, 300, 60.0), "sw");
+        let out = scene.render_at(Pos::new(0.5, 0.0, 0.0), Duration::from_millis(300));
+        let spec = Spectrum::of(&out);
+        let peak = spec.magnitude_at(1000.0);
+        assert!(peak > spl_to_amplitude(55.0), "peak {peak}");
+    }
+
+    #[test]
+    fn distance_attenuates_by_inverse_law() {
+        let mut scene = Scene::quiet(SR);
+        scene.add(Pos::ORIGIN, Duration::ZERO, tone(1000.0, 500, 70.0), "sw");
+        let near = scene.render_at(Pos::new(1.0, 0.0, 0.0), Duration::from_millis(500));
+        let far = scene.render_at(Pos::new(4.0, 0.0, 0.0), Duration::from_millis(500));
+        let near_mag = Spectrum::of(&near).magnitude_at(1000.0);
+        let far_mag = Spectrum::of(&far).magnitude_at(1000.0);
+        let ratio = near_mag / far_mag;
+        assert!((ratio - 4.0).abs() < 0.8, "ratio {ratio}");
+    }
+
+    #[test]
+    fn propagation_delays_distant_sources() {
+        let mut scene = Scene::quiet(SR);
+        // 34.3 m away → 100 ms of flight time.
+        scene.add(
+            Pos::new(34.3, 0.0, 0.0),
+            Duration::ZERO,
+            tone(2000.0, 100, 80.0),
+            "far",
+        );
+        let out = scene.render_at(Pos::ORIGIN, Duration::from_millis(400));
+        let early = out.window(Duration::ZERO, Duration::from_millis(80));
+        let later = out.window(Duration::from_millis(110), Duration::from_millis(80));
+        let early_mag = Spectrum::of(&early).magnitude_at(2000.0);
+        let later_mag = Spectrum::of(&later).magnitude_at(2000.0);
+        assert!(
+            later_mag > 10.0 * early_mag.max(1e-9),
+            "early {early_mag} later {later_mag}"
+        );
+    }
+
+    #[test]
+    fn render_length_is_exact_despite_overruns() {
+        let mut scene = Scene::quiet(SR);
+        // Emission extends past the render window.
+        scene.add(
+            Pos::ORIGIN,
+            Duration::from_millis(150),
+            tone(500.0, 500, 60.0),
+            "long",
+        );
+        let out = scene.render_at(Pos::ORIGIN, Duration::from_millis(200));
+        assert_eq!(out.len(), 8820);
+    }
+
+    #[test]
+    fn emission_after_window_is_skipped() {
+        let mut scene = Scene::quiet(SR);
+        scene.add(
+            Pos::ORIGIN,
+            Duration::from_secs(5),
+            tone(500.0, 100, 90.0),
+            "late",
+        );
+        let out = scene.render_at(Pos::ORIGIN, Duration::from_millis(100));
+        let spec = Spectrum::of(&out);
+        assert!(spec.magnitude_at(500.0) < spl_to_amplitude(40.0));
+    }
+
+    #[test]
+    fn end_time_tracks_longest_emission() {
+        let mut scene = Scene::quiet(SR);
+        assert_eq!(scene.end_time(), Duration::ZERO);
+        scene.add(
+            Pos::ORIGIN,
+            Duration::from_millis(100),
+            tone(500.0, 200, 60.0),
+            "a",
+        );
+        scene.add(
+            Pos::ORIGIN,
+            Duration::from_millis(50),
+            tone(600.0, 100, 60.0),
+            "b",
+        );
+        assert_eq!(scene.end_time(), Duration::from_millis(300));
+    }
+
+    #[test]
+    fn capture_through_microphone() {
+        let mut scene = Scene::quiet(SR);
+        scene.add(Pos::ORIGIN, Duration::ZERO, tone(1000.0, 300, 60.0), "sw");
+        let cap = scene.capture(
+            &Microphone::measurement(),
+            Pos::new(0.5, 0.0, 0.0),
+            Duration::from_millis(300),
+        );
+        assert_eq!(cap.sample_rate(), 44_100);
+        let spec = Spectrum::of(&cap);
+        assert!(spec.magnitude_at(1000.0) > spl_to_amplitude(50.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "sample rate must match")]
+    fn rejects_rate_mismatch() {
+        let mut scene = Scene::quiet(SR);
+        let wrong = Tone::new(500.0, Duration::from_millis(10), 0.1).render(48_000);
+        scene.add(Pos::ORIGIN, Duration::ZERO, wrong, "bad");
+    }
+
+    #[test]
+    fn ambient_seed_changes_bed() {
+        let mut a = Scene::quiet(SR);
+        let mut b = Scene::quiet(SR);
+        a.set_ambient_seed(1);
+        b.set_ambient_seed(2);
+        let ra = a.render_at(Pos::ORIGIN, Duration::from_millis(50));
+        let rb = b.render_at(Pos::ORIGIN, Duration::from_millis(50));
+        assert_ne!(ra.samples(), rb.samples());
+    }
+}

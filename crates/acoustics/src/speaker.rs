@@ -1,0 +1,189 @@
+//! Speaker model.
+//!
+//! In the paper each switch drives a cheap speaker through a Raspberry Pi:
+//! the switch sends a Music Protocol message (frequency, duration,
+//! intensity) and the Pi renders a tone. The model enforces the hardware
+//! limits the paper reports: a ~30 ms minimum tone length, a usable
+//! frequency band, and a maximum output level.
+
+use mdn_audio::signal::spl_to_amplitude;
+use mdn_audio::synth::Tone;
+use mdn_audio::Signal;
+use std::time::Duration;
+
+/// A request to play one tone — the acoustic half of an MP message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ToneRequest {
+    /// Frequency in Hz.
+    pub freq_hz: f64,
+    /// Requested duration.
+    pub duration: Duration,
+    /// Requested level in dB SPL at the reference distance (1 m).
+    pub level_spl: f64,
+}
+
+/// Why a speaker refused a request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpeakerError {
+    /// The frequency is outside the speaker's response band.
+    OutOfBand {
+        /// The offending frequency.
+        freq_hz: f64,
+        /// The speaker's usable band.
+        band: (f64, f64),
+    },
+    /// The requested frequency is not finite or not positive.
+    InvalidFrequency(f64),
+}
+
+impl std::fmt::Display for SpeakerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpeakerError::OutOfBand { freq_hz, band } => {
+                write!(
+                    f,
+                    "{freq_hz} Hz outside speaker band {}..{} Hz",
+                    band.0, band.1
+                )
+            }
+            SpeakerError::InvalidFrequency(v) => write!(f, "invalid frequency {v}"),
+        }
+    }
+}
+
+impl std::error::Error for SpeakerError {}
+
+/// A speaker with a response band, a minimum drivable tone length and a
+/// maximum output level.
+#[derive(Debug, Clone)]
+pub struct Speaker {
+    /// Usable frequency band `(lo_hz, hi_hz)`.
+    pub band: (f64, f64),
+    /// Hardware floor on tone duration; shorter requests are stretched to
+    /// this (the paper: "the shortest possible length generated in our
+    /// testbed was approximately 30 ms").
+    pub min_duration: Duration,
+    /// Maximum output level in dB SPL at 1 m; louder requests are clamped.
+    pub max_level_spl: f64,
+}
+
+impl Speaker {
+    /// The paper's testbed speaker: cheap desktop speaker, 100 Hz–15 kHz,
+    /// 30 ms floor, 85 dB SPL max.
+    pub fn cheap() -> Self {
+        Self {
+            band: (100.0, 15_000.0),
+            min_duration: Duration::from_millis(30),
+            max_level_spl: 85.0,
+        }
+    }
+
+    /// A wide-band speaker including ultrasound, for the §8 extension
+    /// experiments (up to 40 kHz, 5 ms floor).
+    pub fn ultrasound_capable() -> Self {
+        Self {
+            band: (100.0, 40_000.0),
+            min_duration: Duration::from_millis(5),
+            max_level_spl: 90.0,
+        }
+    }
+
+    /// Validate a request and render it to a pressure signal at the
+    /// reference distance (1 m). Duration is stretched up to
+    /// [`Self::min_duration`]; level is clamped to [`Self::max_level_spl`].
+    pub fn play(&self, req: ToneRequest, sample_rate: u32) -> Result<Signal, SpeakerError> {
+        let tone = self.shape(req)?;
+        Ok(tone.render(sample_rate))
+    }
+
+    /// The validation/shaping half of [`Self::play`], returning the tone
+    /// that would be rendered (useful when the caller schedules rendering
+    /// itself).
+    pub fn shape(&self, req: ToneRequest) -> Result<Tone, SpeakerError> {
+        if !req.freq_hz.is_finite() || req.freq_hz <= 0.0 {
+            return Err(SpeakerError::InvalidFrequency(req.freq_hz));
+        }
+        if req.freq_hz < self.band.0 || req.freq_hz > self.band.1 {
+            return Err(SpeakerError::OutOfBand {
+                freq_hz: req.freq_hz,
+                band: self.band,
+            });
+        }
+        let duration = req.duration.max(self.min_duration);
+        let level = req.level_spl.min(self.max_level_spl);
+        Ok(Tone::new(req.freq_hz, duration, spl_to_amplitude(level)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SR: u32 = 44_100;
+
+    fn req(freq: f64, ms: u64, spl: f64) -> ToneRequest {
+        ToneRequest {
+            freq_hz: freq,
+            duration: Duration::from_millis(ms),
+            level_spl: spl,
+        }
+    }
+
+    #[test]
+    fn renders_in_band_tone() {
+        let s = Speaker::cheap().play(req(1000.0, 50, 60.0), SR).unwrap();
+        assert_eq!(s.len(), 2205);
+        // 60 dB SPL sine: peak = amplitude, RMS = amplitude/√2.
+        let expected_rms = spl_to_amplitude(60.0) / 2f64.sqrt();
+        assert!((s.rms() - expected_rms).abs() / expected_rms < 0.05);
+    }
+
+    #[test]
+    fn stretches_short_tones_to_hardware_floor() {
+        let sp = Speaker::cheap();
+        let s = sp.play(req(1000.0, 5, 60.0), SR).unwrap();
+        assert_eq!(s.len(), (SR as f64 * 0.030).round() as usize);
+    }
+
+    #[test]
+    fn clamps_level_to_max() {
+        let sp = Speaker::cheap();
+        let t = sp.shape(req(1000.0, 50, 120.0)).unwrap();
+        assert!((t.amplitude - spl_to_amplitude(85.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_out_of_band() {
+        let sp = Speaker::cheap();
+        let err = sp.play(req(20_000.0, 50, 60.0), SR).unwrap_err();
+        assert!(matches!(err, SpeakerError::OutOfBand { .. }));
+        let err = sp.play(req(50.0, 50, 60.0), SR).unwrap_err();
+        assert!(matches!(err, SpeakerError::OutOfBand { .. }));
+    }
+
+    #[test]
+    fn ultrasound_speaker_accepts_25khz() {
+        let sp = Speaker::ultrasound_capable();
+        assert!(sp.shape(req(25_000.0, 50, 60.0)).is_ok());
+    }
+
+    #[test]
+    fn rejects_nonsense_frequencies() {
+        let sp = Speaker::cheap();
+        assert!(matches!(
+            sp.shape(req(f64::NAN, 50, 60.0)),
+            Err(SpeakerError::InvalidFrequency(_))
+        ));
+        assert!(matches!(
+            sp.shape(req(-10.0, 50, 60.0)),
+            Err(SpeakerError::InvalidFrequency(_))
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let e = Speaker::cheap().shape(req(20_000.0, 50, 60.0)).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("20000") && msg.contains("band"));
+    }
+}

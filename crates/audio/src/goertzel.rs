@@ -1,0 +1,174 @@
+//! Goertzel single-bin tone detection.
+//!
+//! When the MDN controller knows exactly which frequencies to listen for
+//! (the common case — each switch owns a published set), evaluating one DFT
+//! bin per candidate frequency with the Goertzel recurrence is far cheaper
+//! than a full FFT. The ablation bench `claims.rs` compares the two paths.
+
+use crate::signal::Signal;
+use std::f64::consts::PI;
+
+/// A Goertzel filter tuned to one target frequency at one sample rate.
+///
+/// ```
+/// use mdn_audio::goertzel::Goertzel;
+/// use mdn_audio::synth::Tone;
+/// use std::time::Duration;
+///
+/// let tone = Tone::new(700.0, Duration::from_millis(100), 0.4).render(44_100);
+/// let det = Goertzel::new(700.0, 44_100);
+/// assert!((det.magnitude_of(&tone) - 0.4).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Goertzel {
+    coeff: f64,
+    sin_w: f64,
+    cos_w: f64,
+}
+
+impl Goertzel {
+    /// Build a detector for `freq_hz` at `sample_rate`.
+    ///
+    /// # Panics
+    /// Panics if the frequency is not in `(0, sample_rate/2)`.
+    pub fn new(freq_hz: f64, sample_rate: u32) -> Self {
+        let nyquist = sample_rate as f64 / 2.0;
+        assert!(
+            freq_hz > 0.0 && freq_hz < nyquist,
+            "frequency {freq_hz} Hz outside (0, {nyquist})"
+        );
+        let w = 2.0 * PI * freq_hz / sample_rate as f64;
+        Self {
+            coeff: 2.0 * w.cos(),
+            sin_w: w.sin(),
+            cos_w: w.cos(),
+        }
+    }
+
+    /// Run the recurrence over `samples`, returning the complex DFT-like
+    /// response (magnitude comparable to an unnormalized DFT bin).
+    pub fn run(&self, samples: &[f32]) -> (f64, f64) {
+        let mut s_prev = 0.0f64;
+        let mut s_prev2 = 0.0f64;
+        for &x in samples {
+            let s = x as f64 + self.coeff * s_prev - s_prev2;
+            s_prev2 = s_prev;
+            s_prev = s;
+        }
+        let re = s_prev * self.cos_w - s_prev2;
+        let im = s_prev * self.sin_w;
+        (re, im)
+    }
+
+    /// Magnitude of the target-frequency component, normalized so that a
+    /// unit-amplitude sine exactly at the target frequency yields ≈ 1.0
+    /// regardless of buffer length.
+    pub fn magnitude(&self, samples: &[f32]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let (re, im) = self.run(samples);
+        re.hypot(im) * 2.0 / samples.len() as f64
+    }
+
+    /// Convenience: normalized magnitude over a whole [`Signal`].
+    pub fn magnitude_of(&self, signal: &Signal) -> f64 {
+        self.magnitude(signal.samples())
+    }
+}
+
+/// Evaluate the normalized magnitude at each of `freqs_hz` over `signal`.
+/// Returns magnitudes in the same order as the input frequencies.
+pub fn magnitudes_at(signal: &Signal, freqs_hz: &[f64]) -> Vec<f64> {
+    freqs_hz
+        .iter()
+        .map(|&f| Goertzel::new(f, signal.sample_rate()).magnitude_of(signal))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::Tone;
+    use std::time::Duration;
+
+    const SR: u32 = 44_100;
+
+    fn tone(freq: f64, ms: u64, amp: f64) -> Signal {
+        Tone::new(freq, Duration::from_millis(ms), amp).render(SR)
+    }
+
+    #[test]
+    fn detects_matching_tone_with_unit_normalization() {
+        let s = tone(1000.0, 100, 0.8);
+        let g = Goertzel::new(1000.0, SR);
+        let m = g.magnitude_of(&s);
+        assert!((m - 0.8).abs() < 0.05, "magnitude {m}");
+    }
+
+    #[test]
+    fn rejects_distant_tone() {
+        let s = tone(1000.0, 100, 0.8);
+        let g = Goertzel::new(2000.0, SR);
+        assert!(g.magnitude_of(&s) < 0.02);
+    }
+
+    #[test]
+    fn separates_20hz_spaced_tones_in_long_window() {
+        // The paper's 20 Hz spacing claim: with a long enough window the
+        // Goertzel bin at f rejects a tone at f+20.
+        let s = tone(1000.0, 200, 0.5);
+        let on = Goertzel::new(1000.0, SR).magnitude_of(&s);
+        let off = Goertzel::new(1020.0, SR).magnitude_of(&s);
+        assert!(on > 10.0 * off, "on {on} off {off}");
+    }
+
+    #[test]
+    fn magnitude_of_silence_is_zero() {
+        let s = Signal::silence(Duration::from_millis(50), SR);
+        assert_eq!(Goertzel::new(440.0, SR).magnitude_of(&s), 0.0);
+    }
+
+    #[test]
+    fn empty_buffer_is_zero() {
+        assert_eq!(Goertzel::new(440.0, SR).magnitude(&[]), 0.0);
+    }
+
+    #[test]
+    fn magnitudes_at_preserves_order() {
+        let mut s = tone(500.0, 100, 0.5);
+        s.mix_at(&tone(700.0, 100, 0.25), 0);
+        let mags = magnitudes_at(&s, &[500.0, 600.0, 700.0]);
+        assert!(mags[0] > 0.4);
+        assert!(mags[1] < 0.05);
+        assert!((mags[2] - 0.25).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_frequency_above_nyquist() {
+        Goertzel::new(30_000.0, SR);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_zero_frequency() {
+        Goertzel::new(0.0, SR);
+    }
+
+    #[test]
+    fn agrees_with_fft_bin() {
+        use crate::fft::FftPlanner;
+        // Tone exactly on an FFT bin: both estimates should agree.
+        let n = 4096usize;
+        let bin = 93usize;
+        let freq = bin as f64 * SR as f64 / n as f64;
+        let samples: Vec<f32> = (0..n)
+            .map(|i| (2.0 * PI * freq * i as f64 / SR as f64).sin() as f32)
+            .collect();
+        let g = Goertzel::new(freq, SR).magnitude(&samples);
+        let spec = FftPlanner::new().forward_real(&samples, None);
+        let f = spec[bin].norm() * 2.0 / n as f64;
+        assert!((g - f).abs() < 1e-6, "goertzel {g} fft {f}");
+    }
+}

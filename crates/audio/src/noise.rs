@@ -1,0 +1,311 @@
+//! Noise and interference generators.
+//!
+//! Three kinds of interference appear in the paper's experiments:
+//!
+//! * broadband environment noise (HVAC, many fans — approximated by white
+//!   and pink noise at a configured SPL),
+//! * structured musical interference — the paper plays Sia's *Cheap Thrills*
+//!   as "random background noise" in Figures 4b/4d. We cannot ship the
+//!   recording, so [`MusicNoise`] synthesizes a deterministic pop-style
+//!   track (chord loop, melody, percussion) with comparable spectral
+//!   occupancy, which exercises the identical detection path,
+//! * narrowband interferers (a rogue tone), for robustness tests.
+//!
+//! All generators are seeded and fully deterministic.
+
+use crate::signal::{duration_to_samples, Signal};
+use crate::synth::{Oscillator, Tone};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Gaussian-ish white noise (sum of 4 uniforms, Irwin–Hall), deterministic
+/// under `seed`, with RMS ≈ `rms`.
+pub fn white_noise(duration: Duration, rms: f64, sample_rate: u32, seed: u64) -> Signal {
+    let n = duration_to_samples(duration, sample_rate);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Irwin-Hall(4) centered: variance 4/12 = 1/3, std = 0.577.
+    let scale = rms / (1.0 / 3f64).sqrt();
+    let samples = (0..n)
+        .map(|_| {
+            let s: f64 = (0..4).map(|_| rng.gen_range(-0.5..0.5)).sum();
+            (s * scale) as f32
+        })
+        .collect();
+    Signal::from_samples(samples, sample_rate)
+}
+
+/// Pink (1/f) noise via the Voss–McCartney algorithm with 16 octave rows,
+/// normalized to RMS ≈ `rms`.
+pub fn pink_noise(duration: Duration, rms: f64, sample_rate: u32, seed: u64) -> Signal {
+    const ROWS: usize = 16;
+    let n = duration_to_samples(duration, sample_rate);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = [0.0f64; ROWS];
+    for r in rows.iter_mut() {
+        *r = rng.gen_range(-1.0..1.0);
+    }
+    let mut raw = Vec::with_capacity(n);
+    for i in 0..n {
+        // Update the row selected by the number of trailing ones of i
+        // (Voss-McCartney update schedule).
+        let row = (i.trailing_zeros() as usize).min(ROWS - 1);
+        rows[row] = rng.gen_range(-1.0..1.0);
+        raw.push(rows.iter().sum::<f64>());
+    }
+    let raw_rms = (raw.iter().map(|v| v * v).sum::<f64>() / raw.len().max(1) as f64)
+        .sqrt()
+        .max(1e-12);
+    let scale = rms / raw_rms;
+    Signal::from_samples(
+        raw.into_iter().map(|v| (v * scale) as f32).collect(),
+        sample_rate,
+    )
+}
+
+/// Band-limited noise: white noise passed through a crude bandpass
+/// (implemented as a difference of one-pole lowpasses), normalized to
+/// RMS ≈ `rms`.
+pub fn band_noise(
+    duration: Duration,
+    lo_hz: f64,
+    hi_hz: f64,
+    rms: f64,
+    sample_rate: u32,
+    seed: u64,
+) -> Signal {
+    assert!(hi_hz > lo_hz && lo_hz > 0.0, "bad band {lo_hz}..{hi_hz}");
+    let white = white_noise(duration, 1.0, sample_rate, seed);
+    let dt = 1.0 / sample_rate as f64;
+    let alpha = |fc: f64| {
+        let rc = 1.0 / (2.0 * std::f64::consts::PI * fc);
+        dt / (rc + dt)
+    };
+    let (a_hi, a_lo) = (alpha(hi_hz), alpha(lo_hz));
+    // Two cascaded band sections for a usably steep rolloff.
+    let mut state = [0.0f64; 4]; // [hi1, lo1, hi2, lo2]
+    let mut out = Vec::with_capacity(white.len());
+    for &x in white.samples() {
+        state[0] += a_hi * (x as f64 - state[0]); // lowpass at hi cutoff
+        state[1] += a_lo * (x as f64 - state[1]); // lowpass at lo cutoff
+        let band1 = state[0] - state[1];
+        state[2] += a_hi * (band1 - state[2]);
+        state[3] += a_lo * (band1 - state[3]);
+        out.push(state[2] - state[3]);
+    }
+    let raw_rms = (out.iter().map(|v| v * v).sum::<f64>() / out.len().max(1) as f64)
+        .sqrt()
+        .max(1e-12);
+    let scale = rms / raw_rms;
+    Signal::from_samples(
+        out.into_iter().map(|v| (v * scale) as f32).collect(),
+        sample_rate,
+    )
+}
+
+/// Equal-tempered pitch: MIDI note number to Hz (A4 = 69 = 440 Hz).
+#[inline]
+pub fn midi_to_hz(note: i32) -> f64 {
+    440.0 * 2f64.powf((note - 69) as f64 / 12.0)
+}
+
+/// A deterministic pop-song synthesizer standing in for the paper's
+/// *Cheap Thrills* background track.
+///
+/// Structure: a four-chord loop (vi–IV–I–V in C major) of sustained triads,
+/// an eighth-note melody walking the pentatonic scale, a bass line on the
+/// roots, and noise-burst percussion on each beat. The result occupies
+/// roughly 80 Hz – 6 kHz — the same band as the signalling tones — which is
+/// what makes it a meaningful interference source.
+#[derive(Debug, Clone)]
+pub struct MusicNoise {
+    /// Beats per minute (the real track is ≈ 90 BPM).
+    pub bpm: f64,
+    /// Linear output amplitude of the mix.
+    pub level: f64,
+    /// Seed for the melody walk and percussion jitter.
+    pub seed: u64,
+}
+
+impl Default for MusicNoise {
+    fn default() -> Self {
+        Self {
+            bpm: 90.0,
+            level: 0.25,
+            seed: 0xC4EA9,
+        }
+    }
+}
+
+impl MusicNoise {
+    /// Render `duration` of the track at `sample_rate`.
+    pub fn render(&self, duration: Duration, sample_rate: u32) -> Signal {
+        let n = duration_to_samples(duration, sample_rate);
+        let mut out = Signal::from_samples(vec![0.0; n], sample_rate);
+        if n == 0 {
+            return out;
+        }
+        let beat = Duration::from_secs_f64(60.0 / self.bpm);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // vi–IV–I–V in C major: Am, F, C, G — as MIDI triads.
+        let chords: [[i32; 3]; 4] = [[57, 60, 64], [53, 57, 60], [48, 52, 55], [55, 59, 62]];
+        let pentatonic: [i32; 6] = [72, 74, 76, 79, 81, 84]; // C pent. up top
+        let total = duration.as_secs_f64();
+        let beat_s = beat.as_secs_f64();
+
+        // Chords: one bar (4 beats) each, looped.
+        let mut t = 0.0;
+        let mut bar = 0usize;
+        while t < total {
+            let chord = chords[bar % chords.len()];
+            let bar_len = Duration::from_secs_f64((4.0 * beat_s).min(total - t));
+            for &note in &chord {
+                let tone = Tone::new(midi_to_hz(note), bar_len, self.level * 0.22);
+                out.mix_at_time(&tone.render(sample_rate), Duration::from_secs_f64(t));
+                // Bass an octave below the root.
+                if note == chord[0] {
+                    let bass = Tone::new(midi_to_hz(note - 12), bar_len, self.level * 0.3);
+                    out.mix_at_time(&bass.render(sample_rate), Duration::from_secs_f64(t));
+                }
+            }
+            t += 4.0 * beat_s;
+            bar += 1;
+        }
+
+        // Melody: eighth notes, random pentatonic walk.
+        let eighth = beat_s / 2.0;
+        let mut idx = 2usize;
+        let mut t = 0.0;
+        let mut osc = Oscillator::new(sample_rate);
+        while t + eighth <= total {
+            let step: i64 = rng.gen_range(-2..=2);
+            idx = (idx as i64 + step).clamp(0, pentatonic.len() as i64 - 1) as usize;
+            let note = pentatonic[idx];
+            let seg = osc.render(
+                midi_to_hz(note),
+                self.level * 0.35,
+                Duration::from_secs_f64(eighth * 0.9),
+            );
+            out.mix_at_time(&seg, Duration::from_secs_f64(t));
+            t += eighth;
+        }
+
+        // Percussion: a 25 ms noise burst on each beat.
+        let mut t = 0.0;
+        let mut hit = 0u64;
+        while t < total {
+            let burst = white_noise(
+                Duration::from_millis(25),
+                self.level * 0.4,
+                sample_rate,
+                self.seed ^ hit,
+            );
+            out.mix_at_time(&burst, Duration::from_secs_f64(t));
+            t += beat_s;
+            hit += 1;
+        }
+
+        out.clip();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spectral::Spectrum;
+
+    const SR: u32 = 44_100;
+
+    #[test]
+    fn white_noise_rms_calibrated() {
+        let s = white_noise(Duration::from_secs(1), 0.1, SR, 7);
+        assert!((s.rms() - 0.1).abs() < 0.01, "rms {}", s.rms());
+    }
+
+    #[test]
+    fn white_noise_deterministic_under_seed() {
+        let a = white_noise(Duration::from_millis(100), 0.1, SR, 42);
+        let b = white_noise(Duration::from_millis(100), 0.1, SR, 42);
+        assert_eq!(a.samples(), b.samples());
+        let c = white_noise(Duration::from_millis(100), 0.1, SR, 43);
+        assert_ne!(a.samples(), c.samples());
+    }
+
+    #[test]
+    fn pink_noise_rms_calibrated() {
+        let s = pink_noise(Duration::from_secs(1), 0.1, SR, 7);
+        assert!((s.rms() - 0.1).abs() < 0.02, "rms {}", s.rms());
+    }
+
+    #[test]
+    fn pink_noise_tilts_toward_low_frequencies() {
+        let s = pink_noise(Duration::from_secs(2), 0.1, SR, 3);
+        let spec = Spectrum::of(&s);
+        let low = spec.band_power(50.0, 500.0);
+        let high = spec.band_power(5000.0, 5450.0); // equal-width band
+        assert!(low > 3.0 * high, "low {low} high {high}");
+    }
+
+    #[test]
+    fn band_noise_concentrates_in_band() {
+        let s = band_noise(Duration::from_secs(2), 800.0, 1600.0, 0.1, SR, 9);
+        let spec = Spectrum::of(&s);
+        let inside = spec.band_power(800.0, 1600.0);
+        let outside = spec.band_power(5000.0, 5800.0);
+        assert!(inside > 10.0 * outside, "in {inside} out {outside}");
+    }
+
+    #[test]
+    fn midi_anchors() {
+        assert!((midi_to_hz(69) - 440.0).abs() < 1e-9);
+        assert!((midi_to_hz(60) - 261.6256).abs() < 0.01);
+        assert!((midi_to_hz(81) - 880.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn music_noise_is_deterministic() {
+        let m = MusicNoise::default();
+        let a = m.render(Duration::from_millis(500), SR);
+        let b = m.render(Duration::from_millis(500), SR);
+        assert_eq!(a.samples(), b.samples());
+    }
+
+    #[test]
+    fn music_noise_occupies_wide_band() {
+        let s = MusicNoise::default().render(Duration::from_secs(3), SR);
+        let spec = Spectrum::of(&s);
+        // Energy in bass, mid and treble regions — a broadband interferer.
+        assert!(spec.band_power(80.0, 300.0) > 1e-4);
+        assert!(spec.band_power(300.0, 1200.0) > 1e-4);
+        assert!(spec.band_power(1200.0, 6000.0) > 1e-6);
+    }
+
+    #[test]
+    fn music_noise_level_scales_output() {
+        let quiet = MusicNoise {
+            level: 0.05,
+            ..Default::default()
+        }
+        .render(Duration::from_secs(1), SR);
+        let loud = MusicNoise {
+            level: 0.4,
+            ..Default::default()
+        }
+        .render(Duration::from_secs(1), SR);
+        assert!(loud.rms() > 3.0 * quiet.rms());
+    }
+
+    #[test]
+    fn zero_duration_renders_empty() {
+        assert!(MusicNoise::default().render(Duration::ZERO, SR).is_empty());
+        assert!(white_noise(Duration::ZERO, 0.1, SR, 1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad band")]
+    fn band_noise_rejects_inverted_band() {
+        band_noise(Duration::from_millis(10), 2000.0, 1000.0, 0.1, SR, 1);
+    }
+}

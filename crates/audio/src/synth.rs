@@ -1,0 +1,254 @@
+//! Tone synthesis.
+//!
+//! Generates the pure tones the paper's switches emit through their Pi
+//! speakers, plus chirps and multi-tone mixtures used by the telemetry
+//! experiments. Tones carry a short raised-cosine fade-in/out by default so
+//! that abrupt onsets don't splatter energy across the spectrum (real
+//! speakers can't step pressure instantaneously either).
+
+use crate::signal::{duration_to_samples, sine_sample, Signal};
+use std::f64::consts::PI;
+use std::time::Duration;
+
+/// Default onset/offset ramp applied to synthesized tones.
+pub const DEFAULT_FADE: Duration = Duration::from_millis(2);
+
+/// A pure-tone specification: the payload of a Music Protocol message made
+/// audible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tone {
+    /// Frequency in Hz.
+    pub freq_hz: f64,
+    /// Duration of the tone.
+    pub duration: Duration,
+    /// Linear amplitude (1.0 = digital full scale).
+    pub amplitude: f64,
+    /// Initial phase in radians.
+    pub phase: f64,
+}
+
+impl Tone {
+    /// A tone with zero phase.
+    pub fn new(freq_hz: f64, duration: Duration, amplitude: f64) -> Self {
+        Self {
+            freq_hz,
+            duration,
+            amplitude,
+            phase: 0.0,
+        }
+    }
+
+    /// Render the tone at `sample_rate` with the default fade.
+    pub fn render(&self, sample_rate: u32) -> Signal {
+        self.render_with_fade(sample_rate, DEFAULT_FADE)
+    }
+
+    /// Render the tone with an explicit raised-cosine fade length. The fade
+    /// is clamped to half the tone length.
+    pub fn render_with_fade(&self, sample_rate: u32, fade: Duration) -> Signal {
+        let n = duration_to_samples(self.duration, sample_rate);
+        let fade_n = duration_to_samples(fade, sample_rate).min(n / 2);
+        let mut samples = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut v = self.amplitude * sine_sample(self.freq_hz, i, sample_rate, self.phase);
+            if fade_n > 0 {
+                if i < fade_n {
+                    v *= raised_cosine(i as f64 / fade_n as f64);
+                } else if i >= n - fade_n {
+                    v *= raised_cosine((n - 1 - i) as f64 / fade_n as f64);
+                }
+            }
+            samples.push(v as f32);
+        }
+        Signal::from_samples(samples, sample_rate)
+    }
+}
+
+#[inline]
+fn raised_cosine(x: f64) -> f64 {
+    0.5 * (1.0 - (PI * x.clamp(0.0, 1.0)).cos())
+}
+
+/// Render a mixture of simultaneous tones (all starting at t = 0) into one
+/// buffer whose length is the longest tone.
+pub fn render_mixture(tones: &[Tone], sample_rate: u32) -> Signal {
+    let mut out = Signal::empty(sample_rate);
+    for tone in tones {
+        let rendered = tone.render(sample_rate);
+        out.mix_at(&rendered, 0);
+    }
+    out
+}
+
+/// Render a timed sequence of `(start, tone)` pairs into one buffer.
+pub fn render_sequence(seq: &[(Duration, Tone)], sample_rate: u32) -> Signal {
+    let mut out = Signal::empty(sample_rate);
+    for (start, tone) in seq {
+        let rendered = tone.render(sample_rate);
+        out.mix_at_time(&rendered, *start);
+    }
+    out
+}
+
+/// A linear chirp sweeping `f0 → f1` over `duration`; used by calibration
+/// tests and the port-scan figure's frequency sweep validation.
+pub fn chirp(f0: f64, f1: f64, duration: Duration, amplitude: f64, sample_rate: u32) -> Signal {
+    let n = duration_to_samples(duration, sample_rate);
+    let dur_s = duration.as_secs_f64();
+    let k = if dur_s > 0.0 { (f1 - f0) / dur_s } else { 0.0 };
+    let mut samples = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = i as f64 / sample_rate as f64;
+        // Instantaneous phase of a linear chirp: 2π (f0 t + k t²/2).
+        let phase = 2.0 * PI * (f0 * t + 0.5 * k * t * t);
+        samples.push((amplitude * phase.sin()) as f32);
+    }
+    Signal::from_samples(samples, sample_rate)
+}
+
+/// A sine oscillator that keeps phase across renders, so a device emitting a
+/// stream of tones produces a click-free output.
+#[derive(Debug, Clone)]
+pub struct Oscillator {
+    sample_rate: u32,
+    phase: f64,
+}
+
+impl Oscillator {
+    /// Create an oscillator at the given sample rate.
+    pub fn new(sample_rate: u32) -> Self {
+        assert!(sample_rate > 0);
+        Self {
+            sample_rate,
+            phase: 0.0,
+        }
+    }
+
+    /// Render `duration` of a sine at `freq_hz`/`amplitude`, continuing from
+    /// the oscillator's current phase; updates the phase for the next call.
+    pub fn render(&mut self, freq_hz: f64, amplitude: f64, duration: Duration) -> Signal {
+        let n = duration_to_samples(duration, self.sample_rate);
+        let step = 2.0 * PI * freq_hz / self.sample_rate as f64;
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            samples.push((amplitude * self.phase.sin()) as f32);
+            self.phase += step;
+        }
+        self.phase %= 2.0 * PI;
+        Signal::from_samples(samples, self.sample_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SR: u32 = 44_100;
+
+    #[test]
+    fn tone_length_matches_duration() {
+        let t = Tone::new(440.0, Duration::from_millis(50), 0.5);
+        let s = t.render(SR);
+        assert_eq!(s.len(), 2205);
+    }
+
+    #[test]
+    fn tone_peak_is_near_amplitude() {
+        let t = Tone::new(440.0, Duration::from_millis(100), 0.5);
+        let s = t.render(SR);
+        assert!((s.peak() - 0.5).abs() < 0.01, "peak {}", s.peak());
+    }
+
+    #[test]
+    fn fade_tapers_the_edges() {
+        let t = Tone::new(1000.0, Duration::from_millis(50), 1.0);
+        let s = t.render_with_fade(SR, Duration::from_millis(5));
+        // The very first and last samples should be ~0; mid-buffer should not.
+        assert!(s.samples()[0].abs() < 1e-3);
+        assert!(s.samples()[s.len() - 1].abs() < 1e-2);
+        let mid = s.len() / 2;
+        let mid_peak = s.samples()[mid..mid + 50]
+            .iter()
+            .fold(0.0f32, |m, &v| m.max(v.abs()));
+        assert!(mid_peak > 0.9);
+    }
+
+    #[test]
+    fn fade_clamps_for_tiny_tones() {
+        // A 1 ms tone with a 10 ms fade must not panic or overrun.
+        let t = Tone::new(1000.0, Duration::from_millis(1), 1.0);
+        let s = t.render_with_fade(SR, Duration::from_millis(10));
+        assert_eq!(s.len(), 44);
+    }
+
+    #[test]
+    fn mixture_superimposes() {
+        let tones = [
+            Tone::new(500.0, Duration::from_millis(50), 0.3),
+            Tone::new(700.0, Duration::from_millis(100), 0.3),
+        ];
+        let s = render_mixture(&tones, SR);
+        assert_eq!(s.len(), 4410); // length of the longest tone
+                                   // Energy should exceed that of either tone alone.
+        let single = tones[1].render(SR);
+        assert!(s.rms() > single.rms() * 1.05);
+    }
+
+    #[test]
+    fn sequence_places_tones_in_time() {
+        let seq = [
+            (
+                Duration::ZERO,
+                Tone::new(500.0, Duration::from_millis(30), 0.5),
+            ),
+            (
+                Duration::from_millis(100),
+                Tone::new(700.0, Duration::from_millis(30), 0.5),
+            ),
+        ];
+        let s = render_sequence(&seq, SR);
+        // The gap between tones (40..90 ms) should be silent.
+        let gap = s.window(Duration::from_millis(40), Duration::from_millis(50));
+        assert_eq!(gap.rms(), 0.0);
+        // Total length reaches the end of the second tone.
+        assert_eq!(s.len(), duration_to_samples(Duration::from_millis(130), SR));
+    }
+
+    #[test]
+    fn chirp_sweeps_frequency() {
+        // Compare zero-crossing density of the first and last quarters.
+        let s = chirp(200.0, 2000.0, Duration::from_secs(1), 1.0, SR);
+        let crossings = |sig: &[f32]| {
+            sig.windows(2)
+                .filter(|w| (w[0] >= 0.0) != (w[1] >= 0.0))
+                .count()
+        };
+        let q = s.len() / 4;
+        let first = crossings(&s.samples()[..q]);
+        let last = crossings(&s.samples()[3 * q..]);
+        assert!(last > first * 3, "first {first} last {last}");
+    }
+
+    #[test]
+    fn oscillator_is_phase_continuous() {
+        let mut osc = Oscillator::new(SR);
+        let a = osc.render(441.0, 1.0, Duration::from_millis(10));
+        let b = osc.render(441.0, 1.0, Duration::from_millis(10));
+        // Concatenation must not have a discontinuity: the jump between the
+        // last sample of a and first of b should be about one sample step.
+        let last = a.samples()[a.len() - 1];
+        let first = b.samples()[0];
+        let max_step = 2.0 * PI * 441.0 / SR as f64 * 1.5;
+        assert!(
+            ((first - last) as f64).abs() < max_step,
+            "jump {}",
+            first - last
+        );
+    }
+
+    #[test]
+    fn zero_duration_tone_is_empty() {
+        let t = Tone::new(440.0, Duration::ZERO, 1.0);
+        assert!(t.render(SR).is_empty());
+    }
+}

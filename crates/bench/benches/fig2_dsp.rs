@@ -1,0 +1,90 @@
+//! Figure 2 benchmarks: the DSP pipeline underneath every MDN app.
+//!
+//! `fft_50ms_sample` times exactly what Figure 2b plots: one FFT of a
+//! ~50 ms capture (2205 samples → 4096-point transform). The companion
+//! benchmarks time the Goertzel alternative and the full five-switch
+//! identification pipeline of Figure 2a.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mdn_audio::fft::FftPlanner;
+use mdn_audio::goertzel::Goertzel;
+use mdn_audio::noise::white_noise;
+use mdn_audio::spectral::Spectrum;
+use mdn_audio::synth::Tone;
+use mdn_bench::experiments::fig2;
+use std::hint::black_box;
+use std::time::Duration;
+
+const SR: u32 = 44_100;
+
+fn sample_50ms() -> mdn_audio::Signal {
+    let mut s = white_noise(Duration::from_millis(50), 0.01, SR, 7);
+    s.mix_at(
+        &Tone::new(700.0, Duration::from_millis(50), 0.1).render(SR),
+        0,
+    );
+    s
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let sample = sample_50ms();
+    let mut planner = FftPlanner::new();
+    // Warm the plan cache, as the runtime pipeline does.
+    let _ = planner.forward_real(sample.samples(), None);
+    c.bench_function("fig2b/fft_50ms_sample", |b| {
+        b.iter(|| black_box(planner.forward_real(black_box(sample.samples()), None)))
+    });
+}
+
+fn bench_fft_cold_plan(c: &mut Criterion) {
+    let sample = sample_50ms();
+    c.bench_function("fig2b/fft_50ms_cold_plan", |b| {
+        b.iter_batched(
+            FftPlanner::new,
+            |mut planner| black_box(planner.forward_real(sample.samples(), None)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_goertzel(c: &mut Criterion) {
+    let sample = sample_50ms();
+    let g = Goertzel::new(700.0, SR);
+    c.bench_function("fig2b/goertzel_one_candidate_50ms", |b| {
+        b.iter(|| black_box(g.magnitude(black_box(sample.samples()))))
+    });
+    // The ablation: 64 candidates via Goertzel vs one FFT + peak picking.
+    let gs: Vec<Goertzel> = (0..64)
+        .map(|i| Goertzel::new(500.0 + 60.0 * i as f64, SR))
+        .collect();
+    c.bench_function("fig2b/goertzel_64_candidates_50ms", |b| {
+        b.iter(|| {
+            let total: f64 = gs.iter().map(|g| g.magnitude(sample.samples())).sum();
+            black_box(total)
+        })
+    });
+    c.bench_function("fig2b/fft_plus_peaks_50ms", |b| {
+        b.iter(|| {
+            let spec = Spectrum::of(&sample);
+            black_box(spec.peaks(0.01, 20.0))
+        })
+    });
+}
+
+fn bench_fig2a_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2a");
+    group.sample_size(10);
+    group.bench_function("five_switch_identification", |b| {
+        b.iter(|| black_box(fig2::multiswitch_fft(5, 5)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_fft_cold_plan,
+    bench_goertzel,
+    bench_fig2a_pipeline
+);
+criterion_main!(benches);

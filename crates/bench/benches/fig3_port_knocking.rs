@@ -1,0 +1,41 @@
+//! Figure 3 benchmark: the full port-knocking control loop.
+//!
+//! Times one complete run — network simulation, knock sonification,
+//! controller listening, FSM, FlowMod install — at a shortened timeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdn_bench::experiments::fig3::{port_knocking, PortKnockParams};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn quick_params() -> PortKnockParams {
+    PortKnockParams {
+        total: Duration::from_secs(5),
+        knock_times: [
+            Duration::from_millis(1_000),
+            Duration::from_millis(1_800),
+            Duration::from_millis(2_600),
+        ],
+        ..PortKnockParams::default()
+    }
+}
+
+fn bench_port_knocking(c: &mut Criterion) {
+    // Correctness guard: the shortened scenario must still unlock, or the
+    // benchmark times a broken run.
+    let check = port_knocking(&quick_params());
+    assert!(
+        check.unlock_time_s.is_some(),
+        "benchmark scenario failed to unlock"
+    );
+
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("port_knocking_end_to_end_5s", |b| {
+        b.iter(|| black_box(port_knocking(&quick_params())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_port_knocking);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 4 benchmarks: heavy-hitter and port-scan telemetry pipelines.
+//!
+//! The experiments are seconds-long simulations, so the group runs few
+//! iterations; the interesting numbers are the relative costs of the clean
+//! and noisy variants (the noisy scene mixes the music track in).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdn_bench::experiments::fig4::{heavy_hitter, port_scan};
+use std::hint::black_box;
+
+fn bench_heavy_hitter(c: &mut Criterion) {
+    let check = heavy_hitter(false);
+    assert!(
+        check.correct,
+        "benchmark scenario no longer detects the heavy hitter"
+    );
+
+    let mut group = c.benchmark_group("fig4_heavy_hitter");
+    group.sample_size(10);
+    group.bench_function("clean", |b| b.iter(|| black_box(heavy_hitter(false))));
+    group.bench_function("with_music_noise", |b| {
+        b.iter(|| black_box(heavy_hitter(true)))
+    });
+    group.finish();
+}
+
+fn bench_port_scan(c: &mut Criterion) {
+    let check = port_scan(false);
+    assert!(
+        check.detected,
+        "benchmark scenario no longer detects the scan"
+    );
+
+    let mut group = c.benchmark_group("fig4_port_scan");
+    group.sample_size(10);
+    group.bench_function("clean", |b| b.iter(|| black_box(port_scan(false))));
+    group.bench_function("with_music_noise", |b| {
+        b.iter(|| black_box(port_scan(true)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_heavy_hitter, bench_port_scan);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Figure 5 benchmarks: the sense→tone→listen→FlowMod traffic-engineering
+//! loops, plus the raw network simulator's packet throughput (the
+//! substrate cost under everything).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mdn_bench::experiments::fig5::{load_balancing, queue_monitor};
+use mdn_net::ftable::{Action, Match, Rule};
+use mdn_net::network::Network;
+use mdn_net::packet::{FlowKey, Ip};
+use mdn_net::topology;
+use mdn_net::traffic::TrafficPattern;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_load_balancing(c: &mut Criterion) {
+    let check = load_balancing();
+    assert!(
+        check.rebalance_time_s.is_some(),
+        "benchmark scenario no longer rebalances"
+    );
+
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("load_balancing_full_loop", |b| {
+        b.iter(|| black_box(load_balancing()))
+    });
+    group.bench_function("queue_monitor_full_loop", |b| {
+        b.iter(|| black_box(queue_monitor()))
+    });
+    group.finish();
+}
+
+/// Raw DES throughput: how many packets/second the substrate simulates.
+fn bench_simulator_throughput(c: &mut Criterion) {
+    const PACKETS: u64 = 100_000;
+    let mut group = c.benchmark_group("substrate");
+    group.throughput(Throughput::Elements(PACKETS));
+    group.sample_size(10);
+    group.bench_function("des_100k_packets_line_topo", |b| {
+        b.iter(|| {
+            let mut net = Network::new();
+            let topo = topology::line(&mut net, 1_000_000_000, Duration::from_micros(10));
+            net.install_rule(
+                topo.s1,
+                Rule {
+                    mat: Match::ANY,
+                    priority: 0,
+                    action: Action::Forward(1),
+                },
+            );
+            net.attach_generator(
+                topo.h1,
+                TrafficPattern::Cbr {
+                    flow: FlowKey::udp(Ip::v4(10, 0, 0, 1), 1, Ip::v4(10, 0, 0, 2), 2),
+                    pps: 100_000.0,
+                    size: 1000,
+                    start: Duration::ZERO,
+                    stop: Duration::from_secs(1),
+                },
+            );
+            net.drain();
+            assert_eq!(net.host(topo.h2).rx_packets, PACKETS);
+            black_box(net.counters)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_load_balancing, bench_simulator_throughput);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Figures 6–7 benchmarks: fan rendering, spectrogram computation and the
+//! calibrate/classify pipeline of the failure detector.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdn_acoustics::ambient::AmbientProfile;
+use mdn_acoustics::medium::Pos;
+use mdn_acoustics::mic::Microphone;
+use mdn_acoustics::scene::Scene;
+use mdn_audio::mel::MelSpectrogram;
+use mdn_audio::spectrogram::{Spectrogram, StftConfig};
+use mdn_bench::experiments::fig6_7::{fan_failure, fan_spectrograms};
+use mdn_core::apps::fanfail::FanFailureDetector;
+use mdn_core::fan::{FanModel, FanState};
+use std::hint::black_box;
+use std::time::Duration;
+
+const SR: u32 = 44_100;
+
+fn capture(state: FanState, seed: u64) -> mdn_audio::Signal {
+    let mut scene = Scene::new(SR, AmbientProfile::datacenter());
+    scene.set_ambient_seed(seed);
+    let fan = FanModel {
+        state,
+        ..FanModel::default()
+    };
+    scene.add(
+        Pos::ORIGIN,
+        Duration::ZERO,
+        fan.render(Duration::from_secs(1), SR, seed),
+        "srv",
+    );
+    scene.capture(
+        &Microphone::measurement(),
+        Pos::new(0.3, 0.0, 0.0),
+        Duration::from_secs(1),
+    )
+}
+
+fn bench_fan_model(c: &mut Criterion) {
+    let fan = FanModel::default();
+    c.bench_function("fig6/fan_render_1s", |b| {
+        b.iter(|| black_box(fan.render(Duration::from_secs(1), SR, 3)))
+    });
+}
+
+fn bench_mel_spectrogram(c: &mut Criterion) {
+    let cap = capture(FanState::Healthy, 1);
+    c.bench_function("fig6/mel_spectrogram_1s_capture", |b| {
+        b.iter(|| {
+            let sg = Spectrogram::compute(&cap, &StftConfig::default_for(SR));
+            black_box(MelSpectrogram::from_spectrogram(&sg, 64, 50.0, 8000.0))
+        })
+    });
+}
+
+fn bench_fanfail_pipeline(c: &mut Criterion) {
+    let healthy: Vec<_> = (0..4).map(|s| capture(FanState::Healthy, s)).collect();
+    let off = capture(FanState::Off, 99);
+    c.bench_function("fig7/calibrate_4_captures", |b| {
+        b.iter(|| {
+            let mut det = FanFailureDetector::new();
+            det.calibrate(&healthy).unwrap();
+            black_box(det.threshold())
+        })
+    });
+    let mut det = FanFailureDetector::new();
+    det.calibrate(&healthy).unwrap();
+    c.bench_function("fig7/classify_1s_capture", |b| {
+        b.iter(|| black_box(det.classify(&off)))
+    });
+}
+
+fn bench_full_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_7_full");
+    group.sample_size(10);
+    group.bench_function("fan_spectrograms", |b| {
+        b.iter(|| black_box(fan_spectrograms()))
+    });
+    group.bench_function("fan_failure_3_trials", |b| {
+        b.iter(|| black_box(fan_failure(3)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fan_model,
+    bench_mel_spectrogram,
+    bench_fanfail_pipeline,
+    bench_full_experiments
+);
+criterion_main!(benches);

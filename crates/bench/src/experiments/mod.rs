@@ -1,0 +1,12 @@
+//! Experiment implementations, one module per paper figure group.
+
+pub mod ablation;
+pub mod claims;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6_7;
+
+/// The sample rate every experiment runs at.
+pub const SAMPLE_RATE: u32 = 44_100;

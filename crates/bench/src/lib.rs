@@ -1,0 +1,26 @@
+//! # mdn-bench — the figure/claim regeneration harness
+//!
+//! One experiment function per figure and per quantitative claim in the
+//! paper, each returning a serializable result struct. The `figures`
+//! binary runs them, prints the series the paper plots, and writes
+//! CSV/JSON under `results/`; the Criterion benches time the underlying
+//! pipelines.
+//!
+//! | Experiment | Paper artifact |
+//! |---|---|
+//! | [`experiments::fig2::multiswitch_fft`] | Fig. 2a — FFT of audio from 5 switches |
+//! | [`experiments::fig2::fft_latency`] | Fig. 2b — CDF of FFT processing time |
+//! | [`experiments::fig3::port_knocking`] | Fig. 3 — port knocking bytes + spectrogram |
+//! | [`experiments::fig4::heavy_hitter`] | Fig. 4a/4b — heavy-hitter detection ± noise |
+//! | [`experiments::fig4::port_scan`] | Fig. 4c/4d — port-scan detection ± noise |
+//! | [`experiments::fig5::load_balancing`] | Fig. 5a/5b — queue-tone load balancing |
+//! | [`experiments::fig5::queue_monitor`] | Fig. 5c/5d — 500/600/700 Hz queue bands |
+//! | [`experiments::fig6_7::fan_spectrograms`] | Fig. 6 — fan on/off mel spectrograms |
+//! | [`experiments::fig6_7::fan_failure`] | Fig. 7 — amplitude-difference detection |
+//! | [`experiments::claims::spacing_sweep`] | "≈20 Hz spacing needed" |
+//! | [`experiments::claims::duration_sweep`] | "shortest tone ≈30 ms" |
+//! | [`experiments::claims::capacity_sweep`] | "up to 1000 distinct frequencies" |
+//! | [`experiments::claims::intensity_sweep`] | "sounds of at least 30 dB" |
+
+pub mod experiments;
+pub mod report;

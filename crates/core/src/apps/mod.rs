@@ -1,0 +1,20 @@
+//! The Music-Defined Networking applications from the paper, plus the
+//! extensions it proposes as open problems.
+//!
+//! | Module | Paper section | What it does |
+//! |---|---|---|
+//! | [`portknock`] | §4 | Port-knocking FSM, opens a port via FlowMod |
+//! | [`heavyhitter`] | §5 | Flow-hash tones → per-slot rate thresholds |
+//! | [`portscan`] | §5 | Port tones → distinct-slot sweep detection |
+//! | [`loadbalance`] | §6 | Queue tones → traffic-splitting FlowMod |
+//! | [`queuemon`] | §6 | 500/600/700 Hz queue occupancy monitoring |
+//! | [`fanfail`] | §7 | FFT amplitude-differencing fan failure detector |
+//! | [`superspreader`] | §5 (open problem) | k-superspreader / DDoS victim |
+
+pub mod fanfail;
+pub mod heavyhitter;
+pub mod loadbalance;
+pub mod portknock;
+pub mod portscan;
+pub mod queuemon;
+pub mod superspreader;

@@ -1,0 +1,187 @@
+//! Microphone arrays (§8: "an interesting research direction is to
+//! coordinate an array of microphones listening to different groups of
+//! switches").
+//!
+//! A [`MicrophoneArray`] composes several [`MdnController`]s — each with
+//! its own microphone, position and device bindings — into one listener.
+//! Listening fuses the elements' event streams: events for the same
+//! `(device, slot)` heard by several microphones within a merge window
+//! collapse into one, so the array covers a larger floor area without
+//! double-reporting.
+
+use crate::controller::{collapse_events, MdnController, MdnEvent};
+use mdn_acoustics::scene::Scene;
+use std::time::Duration;
+
+/// A coordinated set of listening points.
+#[derive(Debug, Default)]
+pub struct MicrophoneArray {
+    elements: Vec<MdnController>,
+    /// Events for the same `(device, slot)` within this window are merged
+    /// across elements (and within one element's overlapping frames).
+    pub merge_window: Duration,
+}
+
+impl MicrophoneArray {
+    /// An empty array with the default 80 ms merge window.
+    pub fn new() -> Self {
+        Self {
+            elements: Vec::new(),
+            merge_window: Duration::from_millis(80),
+        }
+    }
+
+    /// Add a listening element (a fully configured controller).
+    pub fn add_element(&mut self, element: MdnController) {
+        self.elements.push(element);
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// True when the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// The elements, for calibration or inspection.
+    pub fn elements_mut(&mut self) -> &mut [MdnController] {
+        &mut self.elements
+    }
+
+    /// Listen through every element and fuse the event streams.
+    pub fn listen(&self, scene: &Scene, from: Duration, len: Duration) -> Vec<MdnEvent> {
+        let mut all: Vec<MdnEvent> = Vec::new();
+        for element in &self.elements {
+            all.extend(element.listen(scene, from, len));
+        }
+        let mut fused = collapse_events(&all, self.merge_window);
+        fused.sort_by_key(|e| e.time);
+        fused
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::SoundingDevice;
+    use crate::freqplan::FrequencyPlan;
+    use mdn_acoustics::medium::Pos;
+    use mdn_acoustics::mic::Microphone;
+
+    const SR: u32 = 44_100;
+
+    /// Two switch groups 14 m apart, one microphone near each. Each mic is
+    /// bound only to its group (the §8 "different groups of switches"),
+    /// and the array hears both groups where a single mic cannot.
+    #[test]
+    fn array_covers_two_rooms_one_mic_cannot() {
+        let mut plan = FrequencyPlan::audible_default();
+        let set_near = plan.allocate("sw-near", 3).unwrap();
+        let set_far = plan.allocate("sw-far", 3).unwrap();
+        let far_pos = Pos::new(14.0, 0.0, 0.0);
+
+        let mut scene = Scene::quiet(SR);
+        let mut dev_near = SoundingDevice::new("sw-near", set_near.clone(), Pos::ORIGIN);
+        let mut dev_far = SoundingDevice::new("sw-far", set_far.clone(), far_pos);
+        // Keep levels modest so 14 m is genuinely out of range.
+        dev_near.level_db = 55.0;
+        dev_far.level_db = 55.0;
+        dev_near
+            .emit_slot(
+                &mut scene,
+                0,
+                Duration::from_millis(100),
+                Duration::from_millis(100),
+            )
+            .unwrap();
+        dev_far
+            .emit_slot(
+                &mut scene,
+                2,
+                Duration::from_millis(300),
+                Duration::from_millis(100),
+            )
+            .unwrap();
+
+        // A single controller near group A, bound to both groups, misses
+        // the far tone (magnitude at 14 m ≈ 1/14 of nominal < threshold).
+        let mut solo = MdnController::new(Microphone::measurement(), Pos::new(0.5, 0.0, 0.0));
+        let cfg = crate::detector::DetectorConfig {
+            min_magnitude: 5e-4,
+            ..Default::default()
+        };
+        solo.set_config(cfg);
+        solo.bind_device("sw-near", set_near.clone());
+        solo.bind_device("sw-far", set_far.clone());
+        let solo_events = solo.listen(&scene, Duration::ZERO, Duration::from_millis(600));
+        assert!(solo_events.iter().any(|e| e.device == "sw-near"));
+        assert!(
+            !solo_events.iter().any(|e| e.device == "sw-far"),
+            "single mic unexpectedly heard the far group: {solo_events:?}"
+        );
+
+        // The array adds a second element near group B.
+        let mut array = MicrophoneArray::new();
+        let mut near_ctl = MdnController::new(Microphone::measurement(), Pos::new(0.5, 0.0, 0.0));
+        near_ctl.set_config(cfg);
+        near_ctl.bind_device("sw-near", set_near);
+        let mut far_ctl = MdnController::new(Microphone::measurement(), Pos::new(13.5, 0.0, 0.0));
+        far_ctl.set_config(cfg);
+        far_ctl.bind_device("sw-far", set_far);
+        array.add_element(near_ctl);
+        array.add_element(far_ctl);
+        assert_eq!(array.len(), 2);
+
+        let events = array.listen(&scene, Duration::ZERO, Duration::from_millis(600));
+        assert!(
+            events.iter().any(|e| e.device == "sw-near" && e.slot == 0),
+            "{events:?}"
+        );
+        assert!(
+            events.iter().any(|e| e.device == "sw-far" && e.slot == 2),
+            "{events:?}"
+        );
+    }
+
+    /// Two microphones hearing the same tone report it once after fusion.
+    #[test]
+    fn overlapping_elements_do_not_double_report() {
+        let mut plan = FrequencyPlan::audible_default();
+        let set = plan.allocate("sw", 2).unwrap();
+        let mut scene = Scene::quiet(SR);
+        let mut dev = SoundingDevice::new("sw", set.clone(), Pos::ORIGIN);
+        dev.emit_slot(
+            &mut scene,
+            1,
+            Duration::from_millis(100),
+            Duration::from_millis(100),
+        )
+        .unwrap();
+
+        let mut array = MicrophoneArray::new();
+        for x in [0.4, 0.6] {
+            let mut ctl = MdnController::new(Microphone::measurement(), Pos::new(x, 0.0, 0.0));
+            ctl.bind_device("sw", set.clone());
+            array.add_element(ctl);
+        }
+        let events = array.listen(&scene, Duration::ZERO, Duration::from_millis(400));
+        let tone_events: Vec<&MdnEvent> = events
+            .iter()
+            .filter(|e| e.device == "sw" && e.slot == 1)
+            .collect();
+        assert_eq!(tone_events.len(), 1, "double-reported: {events:?}");
+    }
+
+    #[test]
+    fn empty_array_is_silent() {
+        let scene = Scene::quiet(SR);
+        let array = MicrophoneArray::new();
+        assert!(array.is_empty());
+        assert!(array
+            .listen(&scene, Duration::ZERO, Duration::from_millis(100))
+            .is_empty());
+    }
+}

@@ -1,0 +1,366 @@
+//! The MDN controller: microphone in, device events out.
+//!
+//! The paper's controller "keeps track of what sounds it has heard thus far
+//! from the switch" and knows "what frequencies are associated with each
+//! port for a switch". Here that knowledge is a list of
+//! [`DeviceBinding`]s — one frequency set per sounding device — and the
+//! controller turns raw captures into `(device, slot, time)` events that
+//! the §4–§7 applications consume.
+
+use crate::detector::{DetectorConfig, ToneDetector, ToneObservation};
+use crate::freqplan::FrequencySet;
+use mdn_acoustics::medium::Pos;
+use mdn_acoustics::mic::Microphone;
+use mdn_acoustics::scene::Scene;
+use mdn_audio::Signal;
+use std::time::Duration;
+
+/// A device the controller listens for.
+#[derive(Debug, Clone)]
+pub struct DeviceBinding {
+    /// The device name.
+    pub device: String,
+    /// Its allocated frequency set.
+    pub set: FrequencySet,
+}
+
+/// A decoded management event: device X sounded its local slot Y.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MdnEvent {
+    /// Which device sounded.
+    pub device: String,
+    /// The device-local slot index (the application-level symbol).
+    pub slot: usize,
+    /// Frame start time within the listened window.
+    pub time: Duration,
+    /// The slot's frequency.
+    pub freq_hz: f64,
+    /// Measured magnitude.
+    pub magnitude: f64,
+}
+
+/// The Music-Defined Networking controller.
+#[derive(Debug)]
+pub struct MdnController {
+    /// The microphone it listens through.
+    pub mic: Microphone,
+    /// Where the microphone sits.
+    pub pos: Pos,
+    bindings: Vec<DeviceBinding>,
+    detector: Option<ToneDetector>,
+    config: DetectorConfig,
+    /// Map from detector-candidate index to (binding index, local slot).
+    candidate_map: Vec<(usize, usize)>,
+}
+
+impl MdnController {
+    /// A controller with the measurement microphone at `pos` and default
+    /// detector config.
+    pub fn new(mic: Microphone, pos: Pos) -> Self {
+        Self {
+            mic,
+            pos,
+            bindings: Vec::new(),
+            detector: None,
+            config: DetectorConfig::default(),
+            candidate_map: Vec::new(),
+        }
+    }
+
+    /// Replace the detector configuration (before or between listens).
+    pub fn set_config(&mut self, config: DetectorConfig) {
+        self.config = config;
+        self.rebuild();
+    }
+
+    /// Register a device's frequency set.
+    pub fn bind_device(&mut self, device: impl Into<String>, set: FrequencySet) {
+        self.bindings.push(DeviceBinding {
+            device: device.into(),
+            set,
+        });
+        self.rebuild();
+    }
+
+    /// The registered bindings.
+    pub fn bindings(&self) -> &[DeviceBinding] {
+        &self.bindings
+    }
+
+    fn rebuild(&mut self) {
+        let mut candidates = Vec::new();
+        let mut map = Vec::new();
+        for (b, binding) in self.bindings.iter().enumerate() {
+            for (local, &f) in binding.set.freqs.iter().enumerate() {
+                candidates.push(f);
+                map.push((b, local));
+            }
+        }
+        self.candidate_map = map;
+        self.detector = if candidates.is_empty() {
+            None
+        } else {
+            Some(ToneDetector::with_config(candidates, self.config))
+        };
+    }
+
+    /// Capture `[from, from + len)` of the scene through the controller's
+    /// microphone.
+    pub fn capture(&self, scene: &Scene, from: Duration, len: Duration) -> Signal {
+        let full = scene.render_at(self.pos, from + len);
+        self.mic.capture(&full.window(from, len))
+    }
+
+    /// Calibrate the detector's per-slot noise floor against the scene's
+    /// ambient bed (a capture containing no MDN tones).
+    ///
+    /// # Panics
+    /// Panics if no devices are bound yet.
+    pub fn calibrate(&mut self, ambient_only: &Signal) {
+        let det = self
+            .detector
+            .as_mut()
+            .expect("bind devices before calibrating");
+        det.calibrate(ambient_only);
+    }
+
+    /// Decode a captured signal into device events. Times are relative to
+    /// the start of the capture.
+    pub fn decode(&self, capture: &Signal) -> Vec<MdnEvent> {
+        let Some(det) = &self.detector else {
+            return Vec::new();
+        };
+        det.detect(capture)
+            .into_iter()
+            .map(|o| self.to_event(o))
+            .collect()
+    }
+
+    /// Capture a window and decode it in one step; event times are offset
+    /// by `from` so they are scene-absolute.
+    ///
+    /// The capture includes a 150 ms *pre-roll* before `from` (clamped at
+    /// scene start) that is decoded for context but filtered from the
+    /// returned events: a tone that *ends* right at `from` then has its
+    /// loud body inside the same capture, so the detector's
+    /// neighbouring-frame gate can suppress the offset splatter instead of
+    /// reporting a ghost event. Without the pre-roll, windowed listeners
+    /// (the 300 ms tick loops of §6) see phantom tones at window
+    /// boundaries.
+    pub fn listen(&self, scene: &Scene, from: Duration, len: Duration) -> Vec<MdnEvent> {
+        let pre_roll = Duration::from_millis(150).min(from);
+        let start = from - pre_roll;
+        let capture = self.capture(scene, start, len + pre_roll);
+        self.decode(&capture)
+            .into_iter()
+            .filter(|e| e.time >= pre_roll)
+            .map(|mut e| {
+                e.time += start;
+                e
+            })
+            .collect()
+    }
+
+    fn to_event(&self, o: ToneObservation) -> MdnEvent {
+        let (b, local) = self.candidate_map[o.candidate];
+        MdnEvent {
+            device: self.bindings[b].device.clone(),
+            slot: local,
+            time: o.time,
+            freq_hz: o.freq_hz,
+            magnitude: o.magnitude,
+        }
+    }
+}
+
+/// Collapse per-frame observations into discrete tone events: consecutive
+/// events with the same `(device, slot)` whose times are within
+/// `refractory` of the previous one are merged into the first. Detector
+/// frames overlap (25 ms hop over 50 ms frames), so one physical tone
+/// produces several observations; applications that count *tones* — port
+/// knocks, heavy-hitter occurrences — consume the collapsed stream.
+pub fn collapse_events(events: &[MdnEvent], refractory: Duration) -> Vec<MdnEvent> {
+    let mut sorted: Vec<&MdnEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| e.time);
+    let mut out: Vec<MdnEvent> = Vec::new();
+    let mut last_seen: Vec<(String, usize, Duration)> = Vec::new();
+    for e in sorted {
+        let key = (e.device.clone(), e.slot);
+        match last_seen
+            .iter_mut()
+            .find(|(d, s, _)| *d == key.0 && *s == key.1)
+        {
+            Some((_, _, t)) if e.time.saturating_sub(*t) <= refractory => {
+                // Same tone still ringing: extend the refractory window.
+                *t = e.time;
+            }
+            Some((_, _, t)) => {
+                *t = e.time;
+                out.push(e.clone());
+            }
+            None => {
+                last_seen.push((key.0, key.1, e.time));
+                out.push(e.clone());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::SoundingDevice;
+    use crate::freqplan::FrequencyPlan;
+    use mdn_acoustics::AmbientProfile;
+
+    const SR: u32 = 44_100;
+
+    fn setup() -> (Scene, MdnController, SoundingDevice, SoundingDevice) {
+        let mut plan = FrequencyPlan::new(500.0, 2000.0, 20.0);
+        let set1 = plan.allocate("sw1", 5).unwrap();
+        let set2 = plan.allocate("sw2", 5).unwrap();
+        let scene = Scene::quiet(SR);
+        let mut ctl = MdnController::new(Microphone::measurement(), Pos::new(0.5, 0.5, 0.0));
+        ctl.bind_device("sw1", set1.clone());
+        ctl.bind_device("sw2", set2.clone());
+        let d1 = SoundingDevice::new("sw1", set1, Pos::ORIGIN);
+        let d2 = SoundingDevice::new("sw2", set2, Pos::new(1.0, 0.0, 0.0));
+        (scene, ctl, d1, d2)
+    }
+
+    #[test]
+    fn decodes_one_device_slot() {
+        let (mut scene, ctl, mut d1, _) = setup();
+        d1.emit(&mut scene, 3, Duration::from_millis(100)).unwrap();
+        let events = ctl.listen(&scene, Duration::ZERO, Duration::from_millis(300));
+        assert!(!events.is_empty());
+        assert!(
+            events.iter().all(|e| e.device == "sw1" && e.slot == 3),
+            "stray events: {events:?}"
+        );
+    }
+
+    #[test]
+    fn distinguishes_simultaneous_devices() {
+        // Figure 2a in miniature: two switches sound at once; the
+        // controller attributes each tone to the right device.
+        let (mut scene, ctl, mut d1, mut d2) = setup();
+        d1.emit(&mut scene, 0, Duration::from_millis(50)).unwrap();
+        d2.emit(&mut scene, 2, Duration::from_millis(50)).unwrap();
+        let events = ctl.listen(&scene, Duration::ZERO, Duration::from_millis(200));
+        let sw1: Vec<_> = events.iter().filter(|e| e.device == "sw1").collect();
+        let sw2: Vec<_> = events.iter().filter(|e| e.device == "sw2").collect();
+        assert!(!sw1.is_empty() && sw1.iter().all(|e| e.slot == 0));
+        assert!(!sw2.is_empty() && sw2.iter().all(|e| e.slot == 2));
+    }
+
+    #[test]
+    fn event_times_are_scene_absolute() {
+        let (mut scene, ctl, mut d1, _) = setup();
+        d1.emit(&mut scene, 1, Duration::from_millis(600)).unwrap();
+        let events = ctl.listen(
+            &scene,
+            Duration::from_millis(500),
+            Duration::from_millis(300),
+        );
+        assert!(!events.is_empty());
+        let t = events[0].time;
+        assert!(
+            t >= Duration::from_millis(550) && t <= Duration::from_millis(700),
+            "event at {t:?}"
+        );
+    }
+
+    #[test]
+    fn no_bindings_means_no_events() {
+        let scene = Scene::quiet(SR);
+        let ctl = MdnController::new(Microphone::measurement(), Pos::ORIGIN);
+        assert!(ctl
+            .listen(&scene, Duration::ZERO, Duration::from_millis(100))
+            .is_empty());
+    }
+
+    #[test]
+    fn works_in_datacenter_noise_after_calibration() {
+        let mut plan = FrequencyPlan::new(500.0, 2000.0, 20.0);
+        let set = plan.allocate("sw1", 3).unwrap();
+        let mut scene = Scene::new(SR, AmbientProfile::datacenter());
+        let mut ctl = MdnController::new(Microphone::measurement(), Pos::new(0.5, 0.0, 0.0));
+        ctl.bind_device("sw1", set.clone());
+        // Calibrate on the ambient-only scene.
+        let ambient = ctl.capture(&scene, Duration::ZERO, Duration::from_millis(500));
+        ctl.calibrate(&ambient);
+        // Then emit a loud tone and listen.
+        let mut dev = SoundingDevice::new("sw1", set, Pos::ORIGIN);
+        dev.level_db = 80.0; // audible over the 80 dB floor at close range
+        dev.emit_slot(
+            &mut scene,
+            1,
+            Duration::from_millis(600),
+            Duration::from_millis(200),
+        )
+        .unwrap();
+        let events = ctl.listen(
+            &scene,
+            Duration::from_millis(500),
+            Duration::from_millis(400),
+        );
+        assert!(!events.is_empty(), "tone lost in datacenter noise");
+        assert!(events.iter().all(|e| e.slot == 1));
+    }
+
+    fn ev(device: &str, slot: usize, ms: u64) -> MdnEvent {
+        MdnEvent {
+            device: device.into(),
+            slot,
+            time: Duration::from_millis(ms),
+            freq_hz: 500.0,
+            magnitude: 0.1,
+        }
+    }
+
+    #[test]
+    fn collapse_merges_overlapping_frames() {
+        let events = vec![
+            ev("sw1", 0, 0),
+            ev("sw1", 0, 25),
+            ev("sw1", 0, 50),
+            ev("sw1", 0, 500),
+        ];
+        let collapsed = collapse_events(&events, Duration::from_millis(60));
+        assert_eq!(collapsed.len(), 2);
+        assert_eq!(collapsed[0].time, Duration::ZERO);
+        assert_eq!(collapsed[1].time, Duration::from_millis(500));
+    }
+
+    #[test]
+    fn collapse_keeps_distinct_slots_and_devices() {
+        let events = vec![ev("sw1", 0, 0), ev("sw1", 1, 10), ev("sw2", 0, 20)];
+        let collapsed = collapse_events(&events, Duration::from_millis(100));
+        assert_eq!(collapsed.len(), 3);
+    }
+
+    #[test]
+    fn collapse_handles_unsorted_input() {
+        let events = vec![ev("sw1", 0, 50), ev("sw1", 0, 0), ev("sw1", 0, 25)];
+        let collapsed = collapse_events(&events, Duration::from_millis(60));
+        assert_eq!(collapsed.len(), 1);
+    }
+
+    #[test]
+    fn collapse_chains_refractory_windows() {
+        // A long tone: frames at 0,25,...,200 each within 60 ms of the
+        // previous — all one event even though 200 ms > refractory.
+        let events: Vec<MdnEvent> = (0..9).map(|i| ev("sw1", 0, i * 25)).collect();
+        let collapsed = collapse_events(&events, Duration::from_millis(60));
+        assert_eq!(collapsed.len(), 1);
+    }
+
+    #[test]
+    fn quiet_scene_produces_no_false_events() {
+        let (scene, ctl, _, _) = setup();
+        let events = ctl.listen(&scene, Duration::ZERO, Duration::from_millis(500));
+        assert!(events.is_empty(), "false events: {events:?}");
+    }
+}

@@ -1,0 +1,425 @@
+//! The passive sound path: microphone samples → detected tones.
+//!
+//! The listening half of every MDN application. The detector slices a
+//! captured signal into ~50 ms frames (the paper's analysis window), probes
+//! each candidate frequency with a Goertzel filter — cheap when the
+//! frequency map is known, which in MDN it always is — and reports tone
+//! observations above a noise-calibrated threshold. An FFT-peak path is
+//! provided too; the `claims` bench compares the two.
+
+use mdn_audio::goertzel::Goertzel;
+use mdn_audio::signal::duration_to_samples;
+use mdn_audio::spectral::Spectrum;
+use mdn_audio::Signal;
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+/// Detection parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectorConfig {
+    /// Analysis frame length (the paper: ≈ 50 ms).
+    pub frame: Duration,
+    /// Hop between frames.
+    pub hop: Duration,
+    /// Absolute magnitude floor for a detection (linear amplitude).
+    pub min_magnitude: f64,
+    /// Required ratio over the calibrated noise floor (linear).
+    pub min_snr: f64,
+    /// Per-frame relative gate: a candidate only fires if its magnitude is
+    /// at least this fraction of the strongest candidate in the same
+    /// frame. Suppresses spectral-leakage ghosts from a loud tone without
+    /// masking genuinely simultaneous tones (which have comparable
+    /// levels). Set to 0.0 to disable.
+    pub frame_rel_floor: f64,
+    /// Local-maximum suppression radius: a candidate is dropped if another
+    /// candidate within this many Hz measures stronger in the same frame
+    /// (a real tone always out-measures its own leakage into neighbouring
+    /// 20 Hz slots). Set to 0.0 to disable.
+    pub local_max_radius_hz: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self {
+            frame: Duration::from_millis(50),
+            hop: Duration::from_millis(25),
+            min_magnitude: 1e-4,
+            min_snr: 3.0,
+            frame_rel_floor: 0.25,
+            local_max_radius_hz: 50.0,
+        }
+    }
+}
+
+/// One detected tone in one analysis frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ToneObservation {
+    /// Start time of the frame within the analyzed signal.
+    pub time: Duration,
+    /// The candidate frequency that fired.
+    pub freq_hz: f64,
+    /// Index of the candidate in the detector's list.
+    pub candidate: usize,
+    /// Measured magnitude (linear amplitude).
+    pub magnitude: f64,
+}
+
+/// A multi-frequency tone detector.
+#[derive(Debug, Clone)]
+pub struct ToneDetector {
+    config: DetectorConfig,
+    candidates: Vec<f64>,
+    /// Per-candidate noise floor (linear magnitude), from
+    /// [`ToneDetector::calibrate`]; defaults to zero (absolute threshold
+    /// only).
+    noise_floor: Vec<f64>,
+}
+
+impl ToneDetector {
+    /// A detector for the given candidate frequencies with default config.
+    pub fn new(candidates: Vec<f64>) -> Self {
+        Self::with_config(candidates, DetectorConfig::default())
+    }
+
+    /// A detector with explicit config.
+    ///
+    /// # Panics
+    /// Panics if there are no candidates or the frame/hop are zero.
+    pub fn with_config(candidates: Vec<f64>, config: DetectorConfig) -> Self {
+        assert!(
+            !candidates.is_empty(),
+            "need at least one candidate frequency"
+        );
+        assert!(
+            !config.frame.is_zero() && !config.hop.is_zero(),
+            "frame/hop must be non-zero"
+        );
+        let n = candidates.len();
+        Self {
+            config,
+            candidates,
+            noise_floor: vec![0.0; n],
+        }
+    }
+
+    /// The candidate frequencies.
+    pub fn candidates(&self) -> &[f64] {
+        &self.candidates
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Calibrate the per-candidate noise floor from a signal known to
+    /// contain no MDN tones (e.g. a capture of the idle room). Each
+    /// candidate's floor becomes its maximum magnitude over the sample's
+    /// frames.
+    pub fn calibrate(&mut self, noise_only: &Signal) {
+        let frames = self.frames(noise_only);
+        for (c, floor) in self.noise_floor.iter_mut().enumerate() {
+            let g = Goertzel::new(self.candidates[c], noise_only.sample_rate());
+            let max = frames
+                .iter()
+                .map(|(_, s)| g.magnitude(s))
+                .fold(0.0f64, f64::max);
+            *floor = max;
+        }
+    }
+
+    /// The calibrated noise floor per candidate.
+    pub fn noise_floor(&self) -> &[f64] {
+        &self.noise_floor
+    }
+
+    fn frames<'a>(&self, signal: &'a Signal) -> Vec<(Duration, &'a [f32])> {
+        let sr = signal.sample_rate();
+        let frame_len = duration_to_samples(self.config.frame, sr).max(1);
+        let hop = duration_to_samples(self.config.hop, sr).max(1);
+        let samples = signal.samples();
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        while start + frame_len <= samples.len() {
+            let t = Duration::from_secs_f64(start as f64 / sr as f64);
+            out.push((t, &samples[start..start + frame_len]));
+            start += hop;
+        }
+        out
+    }
+
+    /// Goertzel detection: probe every candidate in every frame.
+    ///
+    /// Two leakage suppressors run per frame, mirroring how the paper's
+    /// pipeline reads FFT *peaks* rather than raw bin energies:
+    /// * a candidate must be a local maximum among the frequency-sorted
+    ///   candidates (a real tone always out-measures its own leakage into
+    ///   the neighbouring 20 Hz slots);
+    /// * a candidate must reach [`DetectorConfig::frame_rel_floor`] of the
+    ///   frame's strongest candidate (suppresses far sidelobes of loud
+    ///   tones in partially-occupied frames).
+    pub fn detect(&self, signal: &Signal) -> Vec<ToneObservation> {
+        let sr = signal.sample_rate();
+        let detectors: Vec<Goertzel> = self
+            .candidates
+            .iter()
+            .map(|&f| Goertzel::new(f, sr))
+            .collect();
+        // Candidate indices sorted by frequency, for local-max testing.
+        let mut order: Vec<usize> = (0..self.candidates.len()).collect();
+        order.sort_by(|&a, &b| self.candidates[a].total_cmp(&self.candidates[b]));
+        let mut rank = vec![0usize; order.len()];
+        for (p, &c) in order.iter().enumerate() {
+            rank[c] = p;
+        }
+        let frames = self.frames(signal);
+        // Magnitude matrix and per-frame maxima, computed up front so the
+        // relative gate can look at a frame's neighbours: a tone's onset
+        // and tail splatter energy into one boundary frame, and gating that
+        // frame against the adjacent full-tone frame suppresses the ghosts.
+        let all_mags: Vec<Vec<f64>> = frames
+            .iter()
+            .map(|(_, frame)| detectors.iter().map(|g| g.magnitude(frame)).collect())
+            .collect();
+        let frame_maxes: Vec<f64> = all_mags
+            .iter()
+            .map(|mags| mags.iter().cloned().fold(0.0, f64::max))
+            .collect();
+        let mut out = Vec::new();
+        for (fi, &(time, _)) in frames.iter().enumerate() {
+            let mags = &all_mags[fi];
+            let neighborhood_max = frame_maxes[fi.saturating_sub(1)..(fi + 2).min(frames.len())]
+                .iter()
+                .cloned()
+                .fold(0.0, f64::max);
+            let rel_gate = neighborhood_max * self.config.frame_rel_floor;
+            for (c, &magnitude) in mags.iter().enumerate() {
+                // Local-max test against every candidate within the radius.
+                let p = rank[c];
+                let f = self.candidates[c];
+                let radius = self.config.local_max_radius_hz;
+                let mut is_local_max = true;
+                for q in (0..p).rev() {
+                    let other = order[q];
+                    if (f - self.candidates[other]).abs() > radius {
+                        break;
+                    }
+                    if mags[other] > magnitude {
+                        is_local_max = false;
+                        break;
+                    }
+                }
+                for &other in order.iter().skip(p + 1) {
+                    if !is_local_max || (self.candidates[other] - f).abs() > radius {
+                        break;
+                    }
+                    if mags[other] > magnitude {
+                        is_local_max = false;
+                    }
+                }
+                if is_local_max && magnitude >= rel_gate && self.passes(c, magnitude) {
+                    out.push(ToneObservation {
+                        time,
+                        freq_hz: self.candidates[c],
+                        candidate: c,
+                        magnitude,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// FFT-peak detection: compute each frame's spectrum, pick peaks, and
+    /// match them to candidates within `tolerance_hz`. Slower per frame
+    /// when the candidate list is short, but finds everything at once —
+    /// this is the paper's Figure 2a pipeline.
+    pub fn detect_fft(&self, signal: &Signal, tolerance_hz: f64) -> Vec<ToneObservation> {
+        let mut planner = mdn_audio::fft::FftPlanner::new();
+        let mut out = Vec::new();
+        for (time, frame) in self.frames(signal) {
+            let frame_sig = Signal::from_samples(frame.to_vec(), signal.sample_rate());
+            let spec = Spectrum::compute(
+                &frame_sig,
+                mdn_audio::window::WindowKind::Hann,
+                Some(4096),
+                &mut planner,
+            );
+            let peaks = spec.peaks(self.config.min_magnitude, tolerance_hz.max(1.0));
+            for peak in peaks {
+                let nearest = self
+                    .candidates
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &f)| (i, (f - peak.freq_hz).abs()))
+                    .min_by(|a, b| a.1.total_cmp(&b.1));
+                if let Some((c, dist)) = nearest {
+                    if dist <= tolerance_hz && self.passes(c, peak.magnitude) {
+                        out.push(ToneObservation {
+                            time,
+                            freq_hz: self.candidates[c],
+                            candidate: c,
+                            magnitude: peak.magnitude,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn passes(&self, candidate: usize, magnitude: f64) -> bool {
+        magnitude >= self.config.min_magnitude
+            && magnitude >= self.noise_floor[candidate] * self.config.min_snr
+    }
+
+    /// The distinct candidate indices observed anywhere in the signal.
+    pub fn active_candidates(&self, signal: &Signal) -> BTreeSet<usize> {
+        self.detect(signal)
+            .into_iter()
+            .map(|o| o.candidate)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdn_audio::noise::white_noise;
+    use mdn_audio::signal::spl_to_amplitude;
+    use mdn_audio::synth::{render_sequence, Tone};
+
+    const SR: u32 = 44_100;
+
+    fn tone_at(freq: f64, start_ms: u64, dur_ms: u64, amp: f64) -> (Duration, Tone) {
+        (
+            Duration::from_millis(start_ms),
+            Tone::new(freq, Duration::from_millis(dur_ms), amp),
+        )
+    }
+
+    #[test]
+    fn detects_single_tone_at_right_time() {
+        let seq = [tone_at(700.0, 200, 100, 0.1)];
+        let mut sig = render_sequence(&seq, SR);
+        sig.pad_to(duration_to_samples(Duration::from_millis(500), SR));
+        let det = ToneDetector::new(vec![500.0, 700.0, 900.0]);
+        let obs = det.detect(&sig);
+        assert!(!obs.is_empty());
+        assert!(obs.iter().all(|o| o.candidate == 1));
+        let first = obs.iter().map(|o| o.time).min().unwrap();
+        assert!(
+            (first.as_secs_f64() - 0.2).abs() < 0.06,
+            "first detection at {first:?}"
+        );
+    }
+
+    #[test]
+    fn silence_yields_nothing() {
+        let sig = Signal::silence(Duration::from_millis(500), SR);
+        let det = ToneDetector::new(vec![500.0, 700.0]);
+        assert!(det.detect(&sig).is_empty());
+    }
+
+    #[test]
+    fn distinguishes_20hz_neighbours() {
+        // Tones on two 20 Hz-spaced candidates, played one after the other:
+        // each must be attributed to the right slot (100 ms frames give the
+        // resolution the paper's spacing needs).
+        let seq = [tone_at(1000.0, 0, 200, 0.1), tone_at(1020.0, 300, 200, 0.1)];
+        let sig = render_sequence(&seq, SR);
+        let cfg = DetectorConfig {
+            frame: Duration::from_millis(100),
+            hop: Duration::from_millis(50),
+            ..DetectorConfig::default()
+        };
+        let det = ToneDetector::with_config(vec![1000.0, 1020.0], cfg);
+        let obs = det.detect(&sig);
+        let early: BTreeSet<usize> = obs
+            .iter()
+            .filter(|o| o.time < Duration::from_millis(150))
+            .map(|o| o.candidate)
+            .collect();
+        let late: BTreeSet<usize> = obs
+            .iter()
+            .filter(|o| o.time >= Duration::from_millis(300))
+            .map(|o| o.candidate)
+            .collect();
+        assert_eq!(early, BTreeSet::from([0]));
+        assert_eq!(late, BTreeSet::from([1]));
+    }
+
+    #[test]
+    fn simultaneous_tones_all_found() {
+        let seq = [
+            tone_at(600.0, 0, 300, 0.08),
+            tone_at(900.0, 0, 300, 0.08),
+            tone_at(1300.0, 0, 300, 0.08),
+        ];
+        let sig = render_sequence(&seq, SR);
+        let det = ToneDetector::new(vec![600.0, 900.0, 1300.0, 1700.0]);
+        let active = det.active_candidates(&sig);
+        assert_eq!(active, BTreeSet::from([0, 1, 2]));
+    }
+
+    #[test]
+    fn calibration_suppresses_noise_band_false_positives() {
+        // A noisy environment at a level above the absolute floor.
+        let noise = white_noise(Duration::from_secs(1), spl_to_amplitude(70.0), SR, 3);
+        let mut det = ToneDetector::new(vec![800.0]);
+        // Without calibration, broadband noise can poke above the absolute
+        // threshold in some frames; calibration raises the bar per-slot.
+        det.calibrate(&noise);
+        let more_noise = white_noise(Duration::from_secs(1), spl_to_amplitude(70.0), SR, 4);
+        let obs = det.detect(&more_noise);
+        assert!(
+            obs.is_empty(),
+            "calibrated detector still fired {} times on noise",
+            obs.len()
+        );
+        // And a real tone well above the floor still gets through.
+        let mut sig = more_noise.clone();
+        let tone = Tone::new(800.0, Duration::from_millis(300), spl_to_amplitude(85.0)).render(SR);
+        sig.mix_at(&tone, 0);
+        assert!(!det.detect(&sig).is_empty());
+    }
+
+    #[test]
+    fn fft_path_agrees_with_goertzel_on_clean_tones() {
+        let seq = [tone_at(900.0, 0, 300, 0.1), tone_at(1500.0, 0, 300, 0.1)];
+        let sig = render_sequence(&seq, SR);
+        let det = ToneDetector::new(vec![900.0, 1500.0, 2100.0]);
+        let g: BTreeSet<usize> = det.detect(&sig).into_iter().map(|o| o.candidate).collect();
+        let f: BTreeSet<usize> = det
+            .detect_fft(&sig, 10.0)
+            .into_iter()
+            .map(|o| o.candidate)
+            .collect();
+        assert_eq!(g, f);
+        assert_eq!(g, BTreeSet::from([0, 1]));
+    }
+
+    #[test]
+    fn too_short_signal_yields_no_frames() {
+        let sig = Signal::silence(Duration::from_millis(10), SR);
+        let det = ToneDetector::new(vec![500.0]);
+        assert!(det.detect(&sig).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_candidates_panics() {
+        ToneDetector::new(vec![]);
+    }
+
+    #[test]
+    fn magnitude_reported_accurately() {
+        let seq = [tone_at(700.0, 0, 200, 0.2)];
+        let sig = render_sequence(&seq, SR);
+        let det = ToneDetector::new(vec![700.0]);
+        let obs = det.detect(&sig);
+        // Middle frames see the full tone.
+        let max = obs.iter().map(|o| o.magnitude).fold(0.0, f64::max);
+        assert!((max - 0.2).abs() < 0.04, "max magnitude {max}");
+    }
+}

@@ -1,0 +1,368 @@
+//! Frequency planning.
+//!
+//! §3 of the paper: "we empirically found that a distance of approximately
+//! 20 Hz between frequencies is needed to accurately differentiate them.
+//! Each switch in our testbed was assigned a unique set of frequencies, so
+//! that we can identify sounds played by different switches at the same
+//! time." And §5: "we could distinguish up to 1000 distinct frequencies
+//! played simultaneously only considering the human-hearable frequency
+//! range."
+//!
+//! A [`FrequencyPlan`] divides a band into 20 Hz-spaced slots and hands out
+//! disjoint [`FrequencySet`]s to devices/applications; the detector side
+//! maps observed frequencies back to slots.
+
+use std::fmt;
+
+/// The paper's empirically-required spacing between usable tones.
+pub const DEFAULT_SPACING_HZ: f64 = 20.0;
+
+/// Errors from plan allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// Not enough unallocated slots remain.
+    Exhausted {
+        /// Slots requested.
+        requested: usize,
+        /// Slots still free.
+        available: usize,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Exhausted {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "frequency plan exhausted: requested {requested}, {available} free"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A contiguous band divided into uniformly spaced tone slots.
+///
+/// ```
+/// use mdn_core::freqplan::FrequencyPlan;
+/// let mut plan = FrequencyPlan::audible_default();
+/// assert!(plan.capacity() >= 900); // the paper's "~1000 frequencies"
+/// let a = plan.allocate("switch-1", 8).unwrap();
+/// let b = plan.allocate("switch-2", 8).unwrap();
+/// assert!(a.slots.iter().all(|s| !b.slots.contains(s))); // disjoint
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrequencyPlan {
+    lo_hz: f64,
+    spacing_hz: f64,
+    slots: usize,
+    next_free: usize,
+    assignments: Vec<(String, Vec<usize>)>,
+}
+
+impl FrequencyPlan {
+    /// A plan over `[lo_hz, hi_hz]` with the given slot spacing.
+    ///
+    /// # Panics
+    /// Panics on a degenerate band or non-positive spacing.
+    pub fn new(lo_hz: f64, hi_hz: f64, spacing_hz: f64) -> Self {
+        assert!(lo_hz > 0.0 && hi_hz > lo_hz, "bad band {lo_hz}..{hi_hz}");
+        assert!(spacing_hz > 0.0, "spacing must be positive");
+        let slots = ((hi_hz - lo_hz) / spacing_hz).floor() as usize + 1;
+        Self {
+            lo_hz,
+            spacing_hz,
+            slots,
+            next_free: 0,
+            assignments: Vec::new(),
+        }
+    }
+
+    /// The paper's audible-band default: 300 Hz – 18.5 kHz at 20 Hz spacing
+    /// (above HVAC rumble, inside cheap-speaker response), giving ≈ 910
+    /// usable slots — the same order as the paper's "up to 1000 distinct
+    /// frequencies".
+    pub fn audible_default() -> Self {
+        Self::new(300.0, 18_500.0, DEFAULT_SPACING_HZ)
+    }
+
+    /// The §8 extension: extend the band to 40 kHz with ultrasound-capable
+    /// hardware, roughly doubling capacity.
+    pub fn with_ultrasound() -> Self {
+        Self::new(300.0, 40_000.0, DEFAULT_SPACING_HZ)
+    }
+
+    /// Total slots in the band.
+    pub fn capacity(&self) -> usize {
+        self.slots
+    }
+
+    /// Slots not yet allocated.
+    pub fn available(&self) -> usize {
+        self.slots - self.next_free
+    }
+
+    /// The spacing between adjacent slots, Hz.
+    pub fn spacing_hz(&self) -> f64 {
+        self.spacing_hz
+    }
+
+    /// Centre frequency of slot `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn slot_freq(&self, i: usize) -> f64 {
+        assert!(
+            i < self.slots,
+            "slot {i} out of range (capacity {})",
+            self.slots
+        );
+        self.lo_hz + i as f64 * self.spacing_hz
+    }
+
+    /// The slot whose centre is nearest `freq_hz`, together with the
+    /// distance in Hz; `None` if the frequency is outside the band by more
+    /// than half a spacing.
+    pub fn nearest_slot(&self, freq_hz: f64) -> Option<(usize, f64)> {
+        let idx = ((freq_hz - self.lo_hz) / self.spacing_hz).round();
+        if idx < 0.0 || idx as usize >= self.slots {
+            return None;
+        }
+        let idx = idx as usize;
+        let dist = (freq_hz - self.slot_freq(idx)).abs();
+        if dist <= self.spacing_hz / 2.0 {
+            Some((idx, dist))
+        } else {
+            None
+        }
+    }
+
+    /// Allocate `count` consecutive slots to `label` (a device or an
+    /// application task). Sets are disjoint by construction.
+    pub fn allocate(
+        &mut self,
+        label: impl Into<String>,
+        count: usize,
+    ) -> Result<FrequencySet, PlanError> {
+        if count > self.available() {
+            return Err(PlanError::Exhausted {
+                requested: count,
+                available: self.available(),
+            });
+        }
+        let indices: Vec<usize> = (self.next_free..self.next_free + count).collect();
+        self.next_free += count;
+        let label = label.into();
+        self.assignments.push((label.clone(), indices.clone()));
+        let freqs = indices.iter().map(|&i| self.slot_freq(i)).collect();
+        Ok(FrequencySet {
+            label,
+            slots: indices,
+            freqs,
+        })
+    }
+
+    /// Allocate `count` slots spread maximally apart across the whole free
+    /// band (stride allocation) — more robust to a local interferer than a
+    /// contiguous block, used by the multi-app multiplexing extension.
+    ///
+    /// Note: stride allocation consumes the *entire* remaining band, so it
+    /// should be the last allocation on a plan.
+    pub fn allocate_spread(
+        &mut self,
+        label: impl Into<String>,
+        count: usize,
+    ) -> Result<FrequencySet, PlanError> {
+        if count > self.available() {
+            return Err(PlanError::Exhausted {
+                requested: count,
+                available: self.available(),
+            });
+        }
+        let stride = (self.available() / count).max(1);
+        let indices: Vec<usize> = (0..count).map(|k| self.next_free + k * stride).collect();
+        self.next_free = indices.last().unwrap() + 1;
+        let label = label.into();
+        self.assignments.push((label.clone(), indices.clone()));
+        let freqs = indices.iter().map(|&i| self.slot_freq(i)).collect();
+        Ok(FrequencySet {
+            label,
+            slots: indices,
+            freqs,
+        })
+    }
+
+    /// Every `(label, slots)` allocation made so far.
+    pub fn assignments(&self) -> &[(String, Vec<usize>)] {
+        &self.assignments
+    }
+}
+
+/// A device's (or application's) disjoint set of tone slots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrequencySet {
+    /// Who owns the set.
+    pub label: String,
+    /// Global slot indices in the plan.
+    pub slots: Vec<usize>,
+    /// Centre frequencies, parallel to `slots`.
+    pub freqs: Vec<f64>,
+}
+
+impl FrequencySet {
+    /// Number of slots in the set.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True for an empty set.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Frequency of the set-local slot `i` (0-based within this set).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn freq(&self, i: usize) -> f64 {
+        self.freqs[i]
+    }
+
+    /// Map a global plan slot back to this set's local index, if the set
+    /// contains it.
+    pub fn local_index(&self, global_slot: usize) -> Option<usize> {
+        self.slots.iter().position(|&s| s == global_slot)
+    }
+
+    /// The set-local index whose frequency is nearest `freq_hz`, with the
+    /// distance, or `None` if the nearest is further than `tolerance_hz`.
+    pub fn nearest(&self, freq_hz: f64, tolerance_hz: f64) -> Option<(usize, f64)> {
+        self.freqs
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (i, (f - freq_hz).abs()))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .filter(|&(_, d)| d <= tolerance_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audible_default_capacity_matches_paper_order() {
+        let plan = FrequencyPlan::audible_default();
+        assert!(
+            (900..=1000).contains(&plan.capacity()),
+            "capacity {} not in paper's ~1000 range",
+            plan.capacity()
+        );
+    }
+
+    #[test]
+    fn ultrasound_roughly_doubles_capacity() {
+        let audible = FrequencyPlan::audible_default().capacity();
+        let ultra = FrequencyPlan::with_ultrasound().capacity();
+        assert!(
+            ultra as f64 > 2.0 * audible as f64,
+            "audible {audible} ultra {ultra}"
+        );
+    }
+
+    #[test]
+    fn slots_are_spaced_exactly() {
+        let plan = FrequencyPlan::new(500.0, 1000.0, 20.0);
+        assert_eq!(plan.capacity(), 26);
+        assert_eq!(plan.slot_freq(0), 500.0);
+        assert_eq!(plan.slot_freq(25), 1000.0);
+        assert_eq!(plan.slot_freq(1) - plan.slot_freq(0), 20.0);
+    }
+
+    #[test]
+    fn allocations_are_disjoint() {
+        let mut plan = FrequencyPlan::audible_default();
+        let a = plan.allocate("switch-1", 10).unwrap();
+        let b = plan.allocate("switch-2", 10).unwrap();
+        for s in &a.slots {
+            assert!(!b.slots.contains(s));
+        }
+        assert_eq!(plan.assignments().len(), 2);
+    }
+
+    #[test]
+    fn exhaustion_is_an_error_not_a_panic() {
+        let mut plan = FrequencyPlan::new(500.0, 600.0, 20.0); // 6 slots
+        assert_eq!(plan.capacity(), 6);
+        plan.allocate("a", 4).unwrap();
+        let err = plan.allocate("b", 3).unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::Exhausted {
+                requested: 3,
+                available: 2
+            }
+        );
+        // The failed allocation consumed nothing.
+        assert_eq!(plan.available(), 2);
+        plan.allocate("c", 2).unwrap();
+        assert_eq!(plan.available(), 0);
+    }
+
+    #[test]
+    fn nearest_slot_rounds_and_bounds() {
+        let plan = FrequencyPlan::new(500.0, 1000.0, 20.0);
+        assert_eq!(plan.nearest_slot(500.0), Some((0, 0.0)));
+        let (idx, dist) = plan.nearest_slot(529.0).unwrap();
+        assert_eq!(idx, 1); // 520 is nearest
+        assert!((dist - 9.0).abs() < 1e-9);
+        assert_eq!(plan.nearest_slot(100.0), None);
+        assert_eq!(plan.nearest_slot(2000.0), None);
+    }
+
+    #[test]
+    fn spread_allocation_spans_the_band() {
+        let mut plan = FrequencyPlan::new(500.0, 1500.0, 20.0); // 51 slots
+        let set = plan.allocate_spread("app", 5).unwrap();
+        assert_eq!(set.len(), 5);
+        let span = set.freqs.last().unwrap() - set.freqs.first().unwrap();
+        assert!(span > 700.0, "spread only spans {span} Hz");
+    }
+
+    #[test]
+    fn set_nearest_respects_tolerance() {
+        let mut plan = FrequencyPlan::new(500.0, 1000.0, 20.0);
+        let set = plan.allocate("x", 5).unwrap(); // 500..580
+        assert_eq!(set.nearest(503.0, 10.0), Some((0, 3.0)));
+        assert_eq!(set.nearest(503.0, 2.0), None);
+        assert_eq!(set.nearest(585.0, 10.0), Some((4, 5.0)));
+    }
+
+    #[test]
+    fn set_local_index_roundtrip() {
+        let mut plan = FrequencyPlan::new(500.0, 1000.0, 20.0);
+        plan.allocate("skip", 3).unwrap();
+        let set = plan.allocate("x", 4).unwrap();
+        for (local, &global) in set.slots.iter().enumerate() {
+            assert_eq!(set.local_index(global), Some(local));
+        }
+        assert_eq!(set.local_index(0), None);
+    }
+
+    #[test]
+    fn twenty_hz_spacing_is_the_default() {
+        assert_eq!(FrequencyPlan::audible_default().spacing_hz(), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad band")]
+    fn degenerate_band_panics() {
+        FrequencyPlan::new(1000.0, 500.0, 20.0);
+    }
+}

@@ -1,0 +1,333 @@
+//! Live (streaming) listening.
+//!
+//! Everything else in this crate analyzes captured buffers after the fact —
+//! fine for experiments, but a deployed MDN controller listens to an
+//! endless microphone stream and must produce events as tones happen. A
+//! [`LiveListener`] runs the detector on its own thread: audio arrives in
+//! arbitrary-sized chunks over a `crossbeam` channel, a carry-over buffer
+//! preserves detector frames across chunk boundaries, and decoded events
+//! accumulate behind a `parking_lot` mutex for the control thread to drain.
+
+use crate::controller::MdnEvent;
+use crate::detector::ToneDetector;
+use crate::freqplan::FrequencySet;
+use crossbeam::channel::{bounded, Sender};
+use mdn_audio::signal::duration_to_samples;
+use mdn_audio::Signal;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handle to a running live listener.
+///
+/// Dropping the handle (or calling [`LiveListener::finish`]) closes the
+/// audio channel; the worker drains what is queued and exits.
+#[derive(Debug)]
+pub struct LiveListener {
+    tx: Option<Sender<Signal>>,
+    worker: Option<JoinHandle<()>>,
+    events: Arc<Mutex<Vec<MdnEvent>>>,
+    sample_rate: u32,
+    samples_sent: u64,
+}
+
+impl LiveListener {
+    /// Start a listener for `device`'s frequency `set` at `sample_rate`.
+    /// `queue_depth` bounds how many chunks may be in flight (backpressure
+    /// for the capture thread).
+    pub fn start(
+        device: impl Into<String>,
+        set: FrequencySet,
+        sample_rate: u32,
+        queue_depth: usize,
+    ) -> Self {
+        let device = device.into();
+        let detector = ToneDetector::new(set.freqs.clone());
+        let (tx, rx) = bounded::<Signal>(queue_depth.max(1));
+        let events: Arc<Mutex<Vec<MdnEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+
+        // Frames are `frame` long with `hop` spacing. The carry-over keeps
+        // a little more than one full frame so that (a) a tone spanning a
+        // chunk boundary lands in a complete frame, and (b) the detector's
+        // neighbouring-frame gate still sees the loud frame next to a
+        // boundary frame (otherwise tone-tail splatter ghosts appear at
+        // chunk edges). Re-analyzed overlap frames produce duplicate
+        // events at identical times, which `collapse_events` merges.
+        let frame = duration_to_samples(detector.config().frame, sample_rate).max(1);
+        let hop = duration_to_samples(detector.config().hop, sample_rate).max(1);
+        let carry_len = (frame + 2 * hop).div_ceil(hop) * hop;
+
+        let worker = std::thread::spawn(move || {
+            let mut carry = Signal::empty(sample_rate);
+            // Absolute sample index of carry[0] in the stream.
+            let mut carry_start: u64 = 0;
+            // Absolute sample index up to which frame decisions are final.
+            // Each frame is *decided exactly once*, at the first analysis
+            // where both its neighbouring frames are present in the buffer
+            // (the detector's splatter gate looks one frame to each side).
+            // The newest complete frame is therefore deferred by one hop
+            // and decided on the next chunk; a flush pass decides the tail
+            // when the stream closes.
+            let mut decided_until: Option<u64> = None;
+            let emit = |sink: &Mutex<Vec<MdnEvent>>,
+                        device: &str,
+                        carry_start: u64,
+                        obs: &crate::detector::ToneObservation| {
+                let offset = Duration::from_secs_f64(carry_start as f64 / sample_rate as f64);
+                sink.lock().push(MdnEvent {
+                    device: device.to_string(),
+                    slot: obs.candidate,
+                    time: offset + obs.time,
+                    freq_hz: obs.freq_hz,
+                    magnitude: obs.magnitude,
+                });
+            };
+            for chunk in rx {
+                assert_eq!(
+                    chunk.sample_rate(),
+                    sample_rate,
+                    "live chunks must match the listener's sample rate"
+                );
+                let mut buf = carry.clone();
+                buf.append(&chunk);
+                // Frames fully decidable now: all complete frames except
+                // the newest (which lacks its right-context frame).
+                let complete = if buf.len() >= frame { (buf.len() - frame) / hop + 1 } else { 0 };
+                let decide_local = if complete >= 2 { Some(((complete - 2) * hop) as u64) } else { None };
+                if let Some(d) = decide_local {
+                    // Detect over the joined buffer; event times are
+                    // relative to buf[0] = stream position carry_start.
+                    for obs in detector.detect(&buf) {
+                        let frame_abs = carry_start
+                            + (obs.time.as_secs_f64() * sample_rate as f64).round() as u64;
+                        let already = decided_until.is_some_and(|w| frame_abs <= w);
+                        if !already && frame_abs <= carry_start + d {
+                            emit(&sink, &device, carry_start, &obs);
+                        }
+                    }
+                    decided_until =
+                        Some(decided_until.map_or(carry_start + d, |w| w.max(carry_start + d)));
+                }
+                // Consume whole hops, keeping at least `carry_len` behind,
+                // so the overlap re-analysis reproduces the same frame
+                // grid and undecided frames keep their left context.
+                let keep_from = if buf.len() > carry_len {
+                    (buf.len() - carry_len) / hop * hop
+                } else {
+                    0
+                };
+                carry = buf.slice(keep_from, buf.len());
+                carry_start += keep_from as u64;
+            }
+            // Stream closed: decide the deferred tail (no right context —
+            // exactly like the end of a batch capture).
+            for obs in detector.detect(&carry) {
+                let frame_abs =
+                    carry_start + (obs.time.as_secs_f64() * sample_rate as f64).round() as u64;
+                if !decided_until.is_some_and(|w| frame_abs <= w) {
+                    emit(&sink, &device, carry_start, &obs);
+                }
+            }
+        });
+
+        Self {
+            tx: Some(tx),
+            worker: Some(worker),
+            events,
+            sample_rate,
+            samples_sent: 0,
+        }
+    }
+
+    /// The stream's sample rate.
+    pub fn sample_rate(&self) -> u32 {
+        self.sample_rate
+    }
+
+    /// Total stream time pushed so far.
+    pub fn pushed(&self) -> Duration {
+        Duration::from_secs_f64(self.samples_sent as f64 / self.sample_rate as f64)
+    }
+
+    /// Push one captured chunk (blocks when the queue is full —
+    /// backpressure toward the capture side).
+    ///
+    /// # Panics
+    /// Panics if called after [`Self::finish`], or if the chunk's sample
+    /// rate differs from the listener's.
+    pub fn push(&mut self, chunk: Signal) {
+        assert_eq!(chunk.sample_rate(), self.sample_rate, "chunk sample rate mismatch");
+        self.samples_sent += chunk.len() as u64;
+        self.tx
+            .as_ref()
+            .expect("push after finish")
+            .send(chunk)
+            .expect("listener thread alive");
+    }
+
+    /// Take the events decoded so far (deduplication across overlapping
+    /// frames is the consumer's job, exactly as for batch listening — use
+    /// [`crate::controller::collapse_events`]).
+    pub fn drain_events(&self) -> Vec<MdnEvent> {
+        std::mem::take(&mut *self.events.lock())
+    }
+
+    /// Close the stream and wait for the worker to finish analyzing
+    /// everything queued. Returns all remaining events.
+    pub fn finish(mut self) -> Vec<MdnEvent> {
+        drop(self.tx.take());
+        if let Some(worker) = self.worker.take() {
+            worker.join().expect("listener thread panicked");
+        }
+        self.drain_events()
+    }
+}
+
+impl Drop for LiveListener {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::collapse_events;
+    use crate::encoder::SoundingDevice;
+    use crate::freqplan::FrequencyPlan;
+    use mdn_acoustics::medium::Pos;
+    use mdn_acoustics::scene::Scene;
+
+    const SR: u32 = 44_100;
+
+    fn scene_with_tones() -> (Scene, FrequencySet, Vec<(usize, Duration)>) {
+        let mut plan = FrequencyPlan::new(700.0, 1500.0, 60.0);
+        let set = plan.allocate("dev", 4).unwrap();
+        let mut scene = Scene::quiet(SR);
+        let mut dev = SoundingDevice::new("dev", set.clone(), Pos::ORIGIN);
+        let tones = vec![
+            (1usize, Duration::from_millis(150)),
+            (3, Duration::from_millis(600)),
+            (0, Duration::from_millis(1050)),
+        ];
+        for &(slot, at) in &tones {
+            dev.emit_slot(&mut scene, slot, at, Duration::from_millis(100)).unwrap();
+        }
+        (scene, set, tones)
+    }
+
+    fn stream_and_collect(chunk_ms: u64) -> Vec<MdnEvent> {
+        let (scene, set, _) = scene_with_tones();
+        let full = scene.render_at(Pos::new(0.4, 0.0, 0.0), Duration::from_millis(1400));
+        let mut listener = LiveListener::start("dev", set, SR, 4);
+        let chunk_len = duration_to_samples(Duration::from_millis(chunk_ms), SR);
+        let mut start = 0;
+        while start < full.len() {
+            let end = (start + chunk_len).min(full.len());
+            listener.push(full.slice(start, end));
+            start = end;
+        }
+        let events = listener.finish();
+        collapse_events(&events, Duration::from_millis(80))
+    }
+
+    #[test]
+    fn live_stream_decodes_all_tones() {
+        let events = stream_and_collect(200);
+        let decoded: Vec<usize> = events.iter().map(|e| e.slot).collect();
+        assert_eq!(decoded, vec![1, 3, 0], "events: {events:?}");
+    }
+
+    #[test]
+    fn tiny_chunks_spanning_frames_still_decode() {
+        // 10 ms chunks are much shorter than the 50 ms analysis frame; the
+        // carry buffer must stitch them together.
+        let events = stream_and_collect(10);
+        let decoded: Vec<usize> = events.iter().map(|e| e.slot).collect();
+        assert_eq!(decoded, vec![1, 3, 0], "events: {events:?}");
+    }
+
+    #[test]
+    fn event_times_are_stream_absolute() {
+        let events = stream_and_collect(137); // awkward chunk size on purpose
+        assert_eq!(events.len(), 3);
+        let expect = [0.15f64, 0.6, 1.05];
+        for (e, &want) in events.iter().zip(&expect) {
+            let got = e.time.as_secs_f64();
+            assert!((got - want).abs() < 0.08, "event at {got}, expected ≈{want}");
+        }
+    }
+
+    #[test]
+    fn matches_batch_detection() {
+        let (scene, set, _) = scene_with_tones();
+        let full = scene.render_at(Pos::new(0.4, 0.0, 0.0), Duration::from_millis(1400));
+        // Batch.
+        let det = ToneDetector::new(set.freqs.clone());
+        let batch: Vec<usize> = collapse_events(
+            &det.detect(&full)
+                .into_iter()
+                .map(|o| MdnEvent {
+                    device: "dev".into(),
+                    slot: o.candidate,
+                    time: o.time,
+                    freq_hz: o.freq_hz,
+                    magnitude: o.magnitude,
+                })
+                .collect::<Vec<_>>(),
+            Duration::from_millis(80),
+        )
+        .iter()
+        .map(|e| e.slot)
+        .collect();
+        // Live.
+        let live: Vec<usize> = stream_and_collect(250).iter().map(|e| e.slot).collect();
+        assert_eq!(batch, live);
+    }
+
+    #[test]
+    fn drain_mid_stream_then_finish() {
+        let (scene, set, _) = scene_with_tones();
+        let full = scene.render_at(Pos::new(0.4, 0.0, 0.0), Duration::from_millis(1400));
+        let mut listener = LiveListener::start("dev", set, SR, 4);
+        let half = full.len() / 2;
+        listener.push(full.slice(0, half));
+        // Give the worker a moment, then drain what exists so far.
+        std::thread::sleep(Duration::from_millis(50));
+        let early = listener.drain_events();
+        listener.push(full.slice(half, full.len()));
+        let late = listener.finish();
+        let mut all = early;
+        all.extend(late);
+        let decoded: Vec<usize> = collapse_events(&all, Duration::from_millis(80))
+            .iter()
+            .map(|e| e.slot)
+            .collect();
+        assert_eq!(decoded, vec![1, 3, 0]);
+    }
+
+    #[test]
+    fn silence_stream_is_quiet() {
+        let mut plan = FrequencyPlan::new(700.0, 1500.0, 60.0);
+        let set = plan.allocate("dev", 4).unwrap();
+        let mut listener = LiveListener::start("dev", set, SR, 2);
+        for _ in 0..5 {
+            listener.push(Signal::silence(Duration::from_millis(100), SR));
+        }
+        assert!(listener.finish().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sample rate mismatch")]
+    fn wrong_rate_chunk_panics() {
+        let mut plan = FrequencyPlan::new(700.0, 1500.0, 60.0);
+        let set = plan.allocate("dev", 2).unwrap();
+        let mut listener = LiveListener::start("dev", set, SR, 2);
+        listener.push(Signal::silence(Duration::from_millis(10), 48_000));
+    }
+}

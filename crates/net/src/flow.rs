@@ -1,0 +1,128 @@
+//! Flow hashing.
+//!
+//! §5 of the paper: "we hash a flow tuple defined by source port,
+//! destination port, source IP, destination IP and protocol type and map it
+//! to a given frequency." This module provides the deterministic hash the
+//! MDN heavy-hitter application maps into its frequency set.
+
+use crate::packet::FlowKey;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Finalizing mixer (splitmix64): FNV-1a's low bits are weak under
+/// correlated inputs, and flow buckets are taken modulo small counts, so
+/// the raw hash is avalanched before use.
+#[inline]
+fn mix(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Hash a flow key: FNV-1a over the canonical 13-byte encoding
+/// (src_ip · dst_ip · src_port · dst_port · proto, all big-endian),
+/// finalized with a splitmix64 mixer.
+pub fn hash_flow(flow: &FlowKey) -> u64 {
+    let mut buf = [0u8; 13];
+    buf[0..4].copy_from_slice(&flow.src_ip.0.to_be_bytes());
+    buf[4..8].copy_from_slice(&flow.dst_ip.0.to_be_bytes());
+    buf[8..10].copy_from_slice(&flow.src_port.to_be_bytes());
+    buf[10..12].copy_from_slice(&flow.dst_port.to_be_bytes());
+    buf[12] = flow.proto.number();
+    mix(fnv1a(&buf))
+}
+
+/// Map a flow into one of `buckets` slots (e.g. one slot per frequency in
+/// an MDN frequency set).
+///
+/// # Panics
+/// Panics if `buckets` is zero.
+pub fn flow_bucket(flow: &FlowKey, buckets: usize) -> usize {
+    assert!(buckets > 0, "need at least one bucket");
+    (hash_flow(flow) % buckets as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowKey, Ip};
+
+    fn flow(n: u8) -> FlowKey {
+        FlowKey::tcp(
+            Ip::v4(10, 0, 0, n),
+            1000 + n as u16,
+            Ip::v4(10, 0, 1, 1),
+            80,
+        )
+    }
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(hash_flow(&flow(1)), hash_flow(&flow(1)));
+    }
+
+    #[test]
+    fn different_flows_hash_differently() {
+        // Not a collision-freedom guarantee, but these specific flows must
+        // spread (the heavy-hitter experiment depends on it).
+        let hashes: Vec<u64> = (0..32).map(|n| hash_flow(&flow(n))).collect();
+        let mut dedup = hashes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), hashes.len());
+    }
+
+    #[test]
+    fn direction_matters() {
+        let f = flow(1);
+        assert_ne!(hash_flow(&f), hash_flow(&f.reversed()));
+    }
+
+    #[test]
+    fn buckets_cover_range() {
+        for n in 0..64u8 {
+            let b = flow_bucket(&flow(n), 10);
+            assert!(b < 10);
+        }
+    }
+
+    #[test]
+    fn buckets_spread_reasonably() {
+        // 256 flows into 16 buckets: the spread should be broad (most
+        // buckets hit) and not wildly skewed.
+        let mut counts = [0usize; 16];
+        for n in 0..=255u8 {
+            counts[flow_bucket(&flow(n), 16)] += 1;
+        }
+        let nonempty = counts.iter().filter(|&&c| c > 0).count();
+        assert!(nonempty >= 12, "only {nonempty} buckets hit: {counts:?}");
+        assert!(counts.iter().all(|&c| c <= 64), "skewed: {counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_panics() {
+        flow_bucket(&flow(1), 0);
+    }
+}

@@ -1,0 +1,368 @@
+//! Match-action flow tables.
+//!
+//! The SDN half of the paper: switches forward only according to installed
+//! rules; the MDN controller reacts to sounds by installing new ones (the
+//! port-knocking FSM opens a port by "adding a flow table entry at the
+//! switch", and the load balancer "sends an OpenFlow flow-MOD message so
+//! that the source traffic gets split across two ports").
+
+use crate::flow::hash_flow;
+use crate::packet::{FlowKey, Ip, Proto};
+
+/// A port index on a node.
+pub type PortId = usize;
+
+/// Wildcardable match over the flow 5-tuple plus ingress port.
+/// `None` matches anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Match {
+    /// Ingress port constraint.
+    pub in_port: Option<PortId>,
+    /// Source address constraint.
+    pub src_ip: Option<Ip>,
+    /// Destination address constraint.
+    pub dst_ip: Option<Ip>,
+    /// Source transport port constraint.
+    pub src_port: Option<u16>,
+    /// Destination transport port constraint.
+    pub dst_port: Option<u16>,
+    /// Protocol constraint.
+    pub proto: Option<Proto>,
+}
+
+impl Match {
+    /// Match everything.
+    pub const ANY: Match = Match {
+        in_port: None,
+        src_ip: None,
+        dst_ip: None,
+        src_port: None,
+        dst_port: None,
+        proto: None,
+    };
+
+    /// Match a destination address.
+    pub fn dst(ip: Ip) -> Self {
+        Match {
+            dst_ip: Some(ip),
+            ..Match::ANY
+        }
+    }
+
+    /// Match a destination transport port (the port-knocking rule shape).
+    pub fn dst_transport_port(port: u16) -> Self {
+        Match {
+            dst_port: Some(port),
+            ..Match::ANY
+        }
+    }
+
+    /// Match an exact flow.
+    pub fn exact(flow: &FlowKey) -> Self {
+        Match {
+            in_port: None,
+            src_ip: Some(flow.src_ip),
+            dst_ip: Some(flow.dst_ip),
+            src_port: Some(flow.src_port),
+            dst_port: Some(flow.dst_port),
+            proto: Some(flow.proto),
+        }
+    }
+
+    /// Does this match cover `(in_port, flow)`?
+    pub fn matches(&self, in_port: PortId, flow: &FlowKey) -> bool {
+        self.in_port.is_none_or(|p| p == in_port)
+            && self.src_ip.is_none_or(|v| v == flow.src_ip)
+            && self.dst_ip.is_none_or(|v| v == flow.dst_ip)
+            && self.src_port.is_none_or(|v| v == flow.src_port)
+            && self.dst_port.is_none_or(|v| v == flow.dst_port)
+            && self.proto.is_none_or(|v| v == flow.proto)
+    }
+}
+
+/// What to do with a matching packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Forward out one port.
+    Forward(PortId),
+    /// Drop the packet.
+    Drop,
+    /// Hash-based split across several ports (OpenFlow select group): the
+    /// flow hash picks the member, so one flow stays on one path.
+    SplitByFlow(Vec<PortId>),
+    /// Per-packet round-robin across several ports (finer-grained split,
+    /// what the paper's Figure 5a load balancer effectively achieves on a
+    /// single elephant flow).
+    SplitRoundRobin(Vec<PortId>),
+}
+
+/// One installed rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Match condition.
+    pub mat: Match,
+    /// Higher wins.
+    pub priority: u16,
+    /// Action on match.
+    pub action: Action,
+}
+
+/// The forwarding decision a table lookup produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Send out this port.
+    Forward(PortId),
+    /// Drop the packet.
+    Drop,
+    /// No rule matched (table-miss); the switch applies its default policy.
+    Miss,
+}
+
+/// A priority-ordered flow table.
+///
+/// ```
+/// use mdn_net::ftable::{FlowTable, Rule, Match, Action, Decision};
+/// use mdn_net::packet::{FlowKey, Ip};
+///
+/// let mut table = FlowTable::new();
+/// table.install(Rule { mat: Match::ANY, priority: 0, action: Action::Drop });
+/// table.install(Rule {
+///     mat: Match::dst_transport_port(80),
+///     priority: 10,
+///     action: Action::Forward(2),
+/// });
+/// let web = FlowKey::tcp(Ip::v4(10, 0, 0, 1), 40_000, Ip::v4(10, 0, 0, 2), 80);
+/// assert_eq!(table.lookup(0, &web), Decision::Forward(2));
+/// assert_eq!(table.lookup(0, &web.reversed()), Decision::Drop);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FlowTable {
+    rules: Vec<Rule>,
+    rr_state: std::collections::HashMap<usize, usize>,
+    /// Lookup counter (all lookups).
+    pub lookups: u64,
+    /// Table-miss counter.
+    pub misses: u64,
+}
+
+impl FlowTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a rule. Rules are kept sorted by descending priority;
+    /// among equal priorities, the earliest installed wins.
+    pub fn install(&mut self, rule: Rule) {
+        let pos = self
+            .rules
+            .iter()
+            .position(|r| r.priority < rule.priority)
+            .unwrap_or(self.rules.len());
+        self.rules.insert(pos, rule);
+    }
+
+    /// Remove every rule whose match equals `mat`. Returns how many were
+    /// removed.
+    pub fn remove(&mut self, mat: &Match) -> usize {
+        let before = self.rules.len();
+        self.rules.retain(|r| &r.mat != mat);
+        before - self.rules.len()
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The installed rules in match order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Look up the forwarding decision for `(in_port, flow)`.
+    ///
+    /// Mutable because round-robin group actions advance their member
+    /// pointer per packet, mirroring group-bucket state in a real switch.
+    pub fn lookup(&mut self, in_port: PortId, flow: &FlowKey) -> Decision {
+        self.lookups += 1;
+        for (idx, rule) in self.rules.iter().enumerate() {
+            if rule.mat.matches(in_port, flow) {
+                return match &rule.action {
+                    Action::Forward(p) => Decision::Forward(*p),
+                    Action::Drop => Decision::Drop,
+                    Action::SplitByFlow(ports) => {
+                        debug_assert!(!ports.is_empty());
+                        let i = (hash_flow(flow) % ports.len() as u64) as usize;
+                        Decision::Forward(ports[i])
+                    }
+                    Action::SplitRoundRobin(ports) => {
+                        debug_assert!(!ports.is_empty());
+                        let state = self.rr_state.entry(idx).or_insert(0);
+                        let i = *state % ports.len();
+                        *state = state.wrapping_add(1);
+                        Decision::Forward(ports[i])
+                    }
+                };
+            }
+        }
+        self.misses += 1;
+        Decision::Miss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(dst_port: u16) -> FlowKey {
+        FlowKey::tcp(Ip::v4(10, 0, 0, 1), 40_000, Ip::v4(10, 0, 0, 2), dst_port)
+    }
+
+    #[test]
+    fn empty_table_misses() {
+        let mut t = FlowTable::new();
+        assert_eq!(t.lookup(0, &flow(80)), Decision::Miss);
+        assert_eq!(t.misses, 1);
+        assert_eq!(t.lookups, 1);
+    }
+
+    #[test]
+    fn priority_order_wins() {
+        let mut t = FlowTable::new();
+        t.install(Rule {
+            mat: Match::ANY,
+            priority: 0,
+            action: Action::Drop,
+        });
+        t.install(Rule {
+            mat: Match::dst_transport_port(80),
+            priority: 10,
+            action: Action::Forward(2),
+        });
+        assert_eq!(t.lookup(0, &flow(80)), Decision::Forward(2));
+        assert_eq!(t.lookup(0, &flow(443)), Decision::Drop);
+    }
+
+    #[test]
+    fn equal_priority_first_installed_wins() {
+        let mut t = FlowTable::new();
+        t.install(Rule {
+            mat: Match::ANY,
+            priority: 5,
+            action: Action::Forward(1),
+        });
+        t.install(Rule {
+            mat: Match::ANY,
+            priority: 5,
+            action: Action::Forward(2),
+        });
+        assert_eq!(t.lookup(0, &flow(80)), Decision::Forward(1));
+    }
+
+    #[test]
+    fn in_port_constraint() {
+        let mut t = FlowTable::new();
+        t.install(Rule {
+            mat: Match {
+                in_port: Some(1),
+                ..Match::ANY
+            },
+            priority: 1,
+            action: Action::Forward(9),
+        });
+        assert_eq!(t.lookup(1, &flow(80)), Decision::Forward(9));
+        assert_eq!(t.lookup(2, &flow(80)), Decision::Miss);
+    }
+
+    #[test]
+    fn exact_match_covers_only_that_flow() {
+        let f = flow(80);
+        let mut t = FlowTable::new();
+        t.install(Rule {
+            mat: Match::exact(&f),
+            priority: 1,
+            action: Action::Forward(3),
+        });
+        assert_eq!(t.lookup(0, &f), Decision::Forward(3));
+        assert_eq!(t.lookup(0, &f.reversed()), Decision::Miss);
+        assert_eq!(t.lookup(0, &flow(81)), Decision::Miss);
+    }
+
+    #[test]
+    fn split_by_flow_is_sticky_per_flow() {
+        let mut t = FlowTable::new();
+        t.install(Rule {
+            mat: Match::ANY,
+            priority: 1,
+            action: Action::SplitByFlow(vec![1, 2]),
+        });
+        let f = flow(80);
+        let first = t.lookup(0, &f);
+        for _ in 0..10 {
+            assert_eq!(t.lookup(0, &f), first);
+        }
+    }
+
+    #[test]
+    fn split_by_flow_spreads_flows() {
+        let mut t = FlowTable::new();
+        t.install(Rule {
+            mat: Match::ANY,
+            priority: 1,
+            action: Action::SplitByFlow(vec![1, 2]),
+        });
+        let mut seen = std::collections::HashSet::new();
+        for p in 0..32u16 {
+            if let Decision::Forward(port) = t.lookup(0, &flow(1000 + p)) {
+                seen.insert(port);
+            }
+        }
+        assert_eq!(seen.len(), 2, "both ports should be used");
+    }
+
+    #[test]
+    fn round_robin_alternates_per_packet() {
+        let mut t = FlowTable::new();
+        t.install(Rule {
+            mat: Match::ANY,
+            priority: 1,
+            action: Action::SplitRoundRobin(vec![1, 2]),
+        });
+        let f = flow(80);
+        let seq: Vec<Decision> = (0..4).map(|_| t.lookup(0, &f)).collect();
+        assert_eq!(
+            seq,
+            vec![
+                Decision::Forward(1),
+                Decision::Forward(2),
+                Decision::Forward(1),
+                Decision::Forward(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn remove_by_match() {
+        let mut t = FlowTable::new();
+        let m = Match::dst_transport_port(80);
+        t.install(Rule {
+            mat: m,
+            priority: 1,
+            action: Action::Forward(1),
+        });
+        t.install(Rule {
+            mat: Match::ANY,
+            priority: 0,
+            action: Action::Drop,
+        });
+        assert_eq!(t.remove(&m), 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(0, &flow(80)), Decision::Drop);
+    }
+}

@@ -1,0 +1,206 @@
+//! Packets and addressing.
+//!
+//! The virtual testbed moves [`Packet`]s — a 5-tuple flow key plus a size
+//! and bookkeeping. IP addresses are IPv4-style `u32`s with a tiny helper
+//! for readable test construction.
+
+use std::fmt;
+use std::time::Duration;
+
+/// IANA protocol numbers used by the testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Proto {
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// ICMP (1).
+    Icmp,
+    /// Anything else, by IANA number.
+    Other(u8),
+}
+
+impl Proto {
+    /// The IANA protocol number.
+    pub fn number(self) -> u8 {
+        match self {
+            Proto::Icmp => 1,
+            Proto::Tcp => 6,
+            Proto::Udp => 17,
+            Proto::Other(n) => n,
+        }
+    }
+
+    /// From an IANA protocol number.
+    pub fn from_number(n: u8) -> Self {
+        match n {
+            1 => Proto::Icmp,
+            6 => Proto::Tcp,
+            17 => Proto::Udp,
+            other => Proto::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for Proto {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Proto::Tcp => write!(f, "tcp"),
+            Proto::Udp => write!(f, "udp"),
+            Proto::Icmp => write!(f, "icmp"),
+            Proto::Other(n) => write!(f, "proto-{n}"),
+        }
+    }
+}
+
+/// An IPv4-style address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ip(pub u32);
+
+impl Ip {
+    /// Build from dotted-quad octets.
+    pub const fn v4(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ip(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+}
+
+impl fmt::Display for Ip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.0;
+        write!(
+            f,
+            "{}.{}.{}.{}",
+            v >> 24,
+            (v >> 16) & 0xff,
+            (v >> 8) & 0xff,
+            v & 0xff
+        )
+    }
+}
+
+/// A flow 5-tuple, as the paper hashes for heavy-hitter detection (§5):
+/// "source port, destination port, source IP, destination IP and protocol
+/// type".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey {
+    /// Source address.
+    pub src_ip: Ip,
+    /// Destination address.
+    pub dst_ip: Ip,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub proto: Proto,
+}
+
+impl FlowKey {
+    /// A TCP flow key.
+    pub fn tcp(src_ip: Ip, src_port: u16, dst_ip: Ip, dst_port: u16) -> Self {
+        Self {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto: Proto::Tcp,
+        }
+    }
+
+    /// A UDP flow key.
+    pub fn udp(src_ip: Ip, src_port: u16, dst_ip: Ip, dst_port: u16) -> Self {
+        Self {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto: Proto::Udp,
+        }
+    }
+
+    /// The reverse direction of this flow.
+    pub fn reversed(&self) -> Self {
+        Self {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            proto: self.proto,
+        }
+    }
+}
+
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} -> {}:{} ({})",
+            self.src_ip, self.src_port, self.dst_ip, self.dst_port, self.proto
+        )
+    }
+}
+
+/// A simulated packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// The flow this packet belongs to.
+    pub flow: FlowKey,
+    /// Total on-wire size in bytes (headers included).
+    pub size_bytes: u32,
+    /// Per-flow sequence number (assigned by the generator).
+    pub seq: u64,
+    /// Simulation time at which the packet was created.
+    pub created: Duration,
+}
+
+impl Packet {
+    /// Construct a packet.
+    pub fn new(flow: FlowKey, size_bytes: u32, seq: u64, created: Duration) -> Self {
+        Self {
+            flow,
+            size_bytes,
+            seq,
+            created,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proto_numbers_roundtrip() {
+        for p in [Proto::Tcp, Proto::Udp, Proto::Icmp, Proto::Other(89)] {
+            assert_eq!(Proto::from_number(p.number()), p);
+        }
+        assert_eq!(Proto::Tcp.number(), 6);
+        assert_eq!(Proto::Udp.number(), 17);
+    }
+
+    #[test]
+    fn ip_display_dotted_quad() {
+        assert_eq!(Ip::v4(10, 0, 0, 1).to_string(), "10.0.0.1");
+        assert_eq!(Ip::v4(255, 255, 255, 255).to_string(), "255.255.255.255");
+    }
+
+    #[test]
+    fn ip_v4_packs_octets() {
+        assert_eq!(Ip::v4(1, 2, 3, 4).0, 0x01020304);
+    }
+
+    #[test]
+    fn flow_reversed_swaps_endpoints() {
+        let f = FlowKey::tcp(Ip::v4(10, 0, 0, 1), 1234, Ip::v4(10, 0, 0, 2), 80);
+        let r = f.reversed();
+        assert_eq!(r.src_ip, f.dst_ip);
+        assert_eq!(r.dst_port, f.src_port);
+        assert_eq!(r.reversed(), f);
+    }
+
+    #[test]
+    fn flow_display_readable() {
+        let f = FlowKey::udp(Ip::v4(10, 0, 0, 1), 5000, Ip::v4(10, 0, 0, 2), 53);
+        assert_eq!(f.to_string(), "10.0.0.1:5000 -> 10.0.0.2:53 (udp)");
+    }
+}

@@ -1,0 +1,182 @@
+//! Bounded drop-tail FIFO queues.
+//!
+//! Every switch output port owns one. Queue *length in packets* is the
+//! quantity the paper's traffic-engineering applications sonify (<25
+//! packets → low tone, 25–75 → mid, >75 → high; §6), so the queue exposes
+//! exactly that, plus drop accounting.
+
+use crate::packet::Packet;
+use std::collections::VecDeque;
+
+/// Outcome of an enqueue attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enqueue {
+    /// Packet accepted.
+    Ok,
+    /// Packet dropped: the queue was full.
+    Dropped,
+}
+
+/// A bounded FIFO packet queue with drop-tail semantics.
+///
+/// ```
+/// use mdn_net::queue::{PacketQueue, Enqueue};
+/// use mdn_net::packet::{Packet, FlowKey, Ip};
+/// use std::time::Duration;
+///
+/// let flow = FlowKey::udp(Ip::v4(10, 0, 0, 1), 1, Ip::v4(10, 0, 0, 2), 2);
+/// let mut q = PacketQueue::new(2);
+/// assert_eq!(q.enqueue(Packet::new(flow, 100, 0, Duration::ZERO)), Enqueue::Ok);
+/// assert_eq!(q.enqueue(Packet::new(flow, 100, 1, Duration::ZERO)), Enqueue::Ok);
+/// assert_eq!(q.enqueue(Packet::new(flow, 100, 2, Duration::ZERO)), Enqueue::Dropped);
+/// assert_eq!(q.dequeue().unwrap().seq, 0); // FIFO
+/// ```
+#[derive(Debug, Clone)]
+pub struct PacketQueue {
+    items: VecDeque<Packet>,
+    capacity: usize,
+    /// Total packets accepted over the queue's lifetime.
+    pub accepted: u64,
+    /// Total packets dropped at the tail.
+    pub dropped: u64,
+    /// Total bytes accepted.
+    pub accepted_bytes: u64,
+}
+
+impl PacketQueue {
+    /// A queue holding at most `capacity` packets.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be non-zero");
+        Self {
+            items: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            accepted: 0,
+            dropped: 0,
+            accepted_bytes: 0,
+        }
+    }
+
+    /// The configured capacity in packets.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy in packets — the number the paper's queue-tone
+    /// applications report.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no packets are queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Current occupancy in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.items.iter().map(|p| p.size_bytes as u64).sum()
+    }
+
+    /// Enqueue with drop-tail: reject the new packet when full.
+    pub fn enqueue(&mut self, packet: Packet) -> Enqueue {
+        if self.items.len() >= self.capacity {
+            self.dropped += 1;
+            return Enqueue::Dropped;
+        }
+        self.accepted += 1;
+        self.accepted_bytes += packet.size_bytes as u64;
+        self.items.push_back(packet);
+        Enqueue::Ok
+    }
+
+    /// Dequeue the head packet, if any.
+    pub fn dequeue(&mut self) -> Option<Packet> {
+        self.items.pop_front()
+    }
+
+    /// Peek at the head packet without removing it.
+    pub fn peek(&self) -> Option<&Packet> {
+        self.items.front()
+    }
+
+    /// Drop everything currently queued (e.g. on link failure).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowKey, Ip};
+    use std::time::Duration;
+
+    fn pkt(seq: u64) -> Packet {
+        let flow = FlowKey::tcp(Ip::v4(10, 0, 0, 1), 1, Ip::v4(10, 0, 0, 2), 80);
+        Packet::new(flow, 1500, seq, Duration::ZERO)
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = PacketQueue::new(10);
+        for i in 0..5 {
+            assert_eq!(q.enqueue(pkt(i)), Enqueue::Ok);
+        }
+        for i in 0..5 {
+            assert_eq!(q.dequeue().unwrap().seq, i);
+        }
+        assert!(q.dequeue().is_none());
+    }
+
+    #[test]
+    fn drop_tail_when_full() {
+        let mut q = PacketQueue::new(2);
+        assert_eq!(q.enqueue(pkt(0)), Enqueue::Ok);
+        assert_eq!(q.enqueue(pkt(1)), Enqueue::Ok);
+        assert_eq!(q.enqueue(pkt(2)), Enqueue::Dropped);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.dropped, 1);
+        assert_eq!(q.accepted, 2);
+        // The head is still the oldest packet (tail drop, not head drop).
+        assert_eq!(q.peek().unwrap().seq, 0);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut q = PacketQueue::new(10);
+        q.enqueue(pkt(0));
+        q.enqueue(pkt(1));
+        assert_eq!(q.bytes(), 3000);
+        assert_eq!(q.accepted_bytes, 3000);
+        q.dequeue();
+        assert_eq!(q.bytes(), 1500);
+        assert_eq!(q.accepted_bytes, 3000); // lifetime counter unchanged
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = PacketQueue::new(10);
+        q.enqueue(pkt(0));
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.accepted, 1); // lifetime counters survive clear
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        PacketQueue::new(0);
+    }
+
+    #[test]
+    fn dequeue_frees_capacity() {
+        let mut q = PacketQueue::new(1);
+        q.enqueue(pkt(0));
+        assert_eq!(q.enqueue(pkt(1)), Enqueue::Dropped);
+        q.dequeue();
+        assert_eq!(q.enqueue(pkt(2)), Enqueue::Ok);
+    }
+}

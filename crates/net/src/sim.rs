@@ -1,0 +1,180 @@
+//! Discrete-event engine.
+//!
+//! A deterministic event queue over virtual time. Ties are broken by
+//! insertion order, so simulations are exactly reproducible run-to-run —
+//! the property that lets every figure in this repo regenerate bit-for-bit.
+
+use crate::ftable::PortId;
+use crate::packet::Packet;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Duration;
+
+/// Identifies a node in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// An event scheduled on the virtual timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A packet finishes crossing a link and arrives at `node` on `in_port`.
+    Deliver {
+        /// Receiving node.
+        node: NodeId,
+        /// Ingress port at the receiver.
+        in_port: PortId,
+        /// The packet.
+        packet: Packet,
+    },
+    /// `node`'s transmitter on `port` finishes serializing a packet and can
+    /// start on the next queued one.
+    PortFree {
+        /// Transmitting node.
+        node: NodeId,
+        /// The now-idle port.
+        port: PortId,
+    },
+    /// A traffic generator on `node` should emit its next packet.
+    Generate {
+        /// Generating host.
+        node: NodeId,
+        /// Which of the host's generators fired.
+        gen_idx: usize,
+    },
+    /// A caller-scheduled tick; the run loop yields these to the
+    /// application layer (e.g. the 300 ms queue-sonification cadence).
+    Tick {
+        /// Caller-chosen tag.
+        tag: u64,
+    },
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    at: Duration,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (time, seq).
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-heap of timed events.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at absolute virtual time `at`.
+    pub fn schedule(&mut self, at: Duration, event: Event) {
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Duration> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(Duration, Event)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tick(tag: u64) -> Event {
+        Event::Tick { tag }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Duration::from_millis(30), tick(3));
+        q.schedule(Duration::from_millis(10), tick(1));
+        q.schedule(Duration::from_millis(20), tick(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Tick { tag } => tag,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = Duration::from_millis(5);
+        for tag in 0..10 {
+            q.schedule(t, tick(tag));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Tick { tag } => tag,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Duration::from_millis(7), tick(0));
+        q.schedule(Duration::from_millis(3), tick(1));
+        assert_eq!(q.peek_time(), Some(Duration::from_millis(3)));
+        let (at, _) = q.pop().unwrap();
+        assert_eq!(at, Duration::from_millis(3));
+    }
+
+    #[test]
+    fn len_and_empty_track_contents() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Duration::ZERO, tick(0));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

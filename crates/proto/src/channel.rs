@@ -1,0 +1,354 @@
+//! In-memory control channels.
+//!
+//! Connects a controller to its switches the way the paper's TCP control
+//! connection (or, for MP, the Ethernet port to the Pi) does — but in
+//! memory, frame-by-frame, preserving the encode→decode path so wire bugs
+//! can't hide. A [`ControlChannel`] is a pair of one-way frame queues; the
+//! helpers apply decoded FlowMods to a live [`mdn_net::Network`].
+
+use crate::openflow::{FlowModCommand, OfMessage};
+use crate::wire::WireError;
+use bytes::Bytes;
+use mdn_net::network::Network;
+use mdn_net::sim::NodeId;
+use std::collections::VecDeque;
+
+/// A bidirectional, in-memory, frame-oriented channel.
+///
+/// The two directions are named from the controller's perspective:
+/// `send_to_switch` / `recv_from_switch`.
+#[derive(Debug, Default)]
+pub struct ControlChannel {
+    to_switch: VecDeque<Bytes>,
+    to_controller: VecDeque<Bytes>,
+    /// Frames delivered controller → switch.
+    pub frames_to_switch: u64,
+    /// Frames delivered switch → controller.
+    pub frames_to_controller: u64,
+}
+
+impl ControlChannel {
+    /// An empty channel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Controller → switch: enqueue an encoded message.
+    pub fn send_to_switch(&mut self, msg: &OfMessage) {
+        self.to_switch.push_back(msg.encode());
+        self.frames_to_switch += 1;
+    }
+
+    /// Switch → controller: enqueue an encoded message.
+    pub fn send_to_controller(&mut self, msg: &OfMessage) {
+        self.to_controller.push_back(msg.encode());
+        self.frames_to_controller += 1;
+    }
+
+    /// Switch side: dequeue and decode the next frame.
+    pub fn recv_at_switch(&mut self) -> Option<Result<OfMessage, WireError>> {
+        self.to_switch.pop_front().map(OfMessage::decode)
+    }
+
+    /// Controller side: dequeue and decode the next frame.
+    pub fn recv_at_controller(&mut self) -> Option<Result<OfMessage, WireError>> {
+        self.to_controller.pop_front().map(OfMessage::decode)
+    }
+
+    /// Frames waiting on the switch side.
+    pub fn pending_at_switch(&self) -> usize {
+        self.to_switch.len()
+    }
+
+    /// Frames waiting on the controller side.
+    pub fn pending_at_controller(&self) -> usize {
+        self.to_controller.len()
+    }
+}
+
+/// Apply a decoded control message to a switch in the network, as the
+/// switch's OpenFlow agent would. Returns `true` if the message changed
+/// switch state.
+pub fn apply_at_switch(net: &mut Network, switch: NodeId, msg: &OfMessage) -> bool {
+    match msg {
+        OfMessage::FlowMod {
+            command: FlowModCommand::Add,
+            ..
+        } => {
+            let rule = msg.as_rule().expect("Add FlowMod converts to a rule");
+            net.install_rule(switch, rule);
+            true
+        }
+        OfMessage::FlowMod {
+            command: FlowModCommand::Delete,
+            mat,
+            ..
+        } => net.switch_mut(switch).table.remove(mat) > 0,
+        // Hello/Echo/PacketIn/PortStatus don't mutate forwarding state.
+        _ => false,
+    }
+}
+
+/// Drain every frame queued for the switch, decoding and applying each.
+/// Returns how many messages changed state.
+///
+/// # Panics
+/// Panics on a malformed frame: in-memory channels only carry frames we
+/// encoded ourselves, so corruption here is a bug, not input.
+pub fn pump_to_switch(chan: &mut ControlChannel, net: &mut Network, switch: NodeId) -> usize {
+    let mut changed = 0;
+    while let Some(frame) = chan.recv_at_switch() {
+        let msg = frame.expect("in-memory control frame must decode");
+        if apply_at_switch(net, switch, &msg) {
+            changed += 1;
+        }
+    }
+    changed
+}
+
+/// Service every frame queued for the switch like [`pump_to_switch`], but
+/// additionally answer `PortStatsRequest`s with `PortStatsReply`s built
+/// from the live switch state — the in-band polling loop that MDN's queue
+/// tones replace. Returns `(state_changes, stats_replies)`.
+///
+/// # Panics
+/// Panics on a malformed frame (in-memory channels only carry frames we
+/// encoded ourselves).
+pub fn service_switch(
+    chan: &mut ControlChannel,
+    net: &mut Network,
+    switch: NodeId,
+) -> (usize, usize) {
+    let mut changed = 0;
+    let mut replies = 0;
+    while let Some(frame) = chan.recv_at_switch() {
+        let msg = frame.expect("in-memory control frame must decode");
+        match &msg {
+            OfMessage::PortStatsRequest { xid, port } => {
+                let s = net.switch(switch);
+                let p = &s.ports[*port as usize];
+                let reply = OfMessage::PortStatsReply {
+                    xid: *xid,
+                    port: *port,
+                    tx_packets: p.queue.accepted,
+                    tx_bytes: p.queue.accepted_bytes,
+                    queue_len: p.queue.len() as u32,
+                    queue_drops: p.queue.dropped,
+                };
+                chan.send_to_controller(&reply);
+                replies += 1;
+            }
+            _ => {
+                if apply_at_switch(net, switch, &msg) {
+                    changed += 1;
+                }
+            }
+        }
+    }
+    (changed, replies)
+}
+
+/// Drain the switch's table-miss outbox (populated under
+/// `MissPolicy::PacketIn`) into the channel as encoded PacketIn messages —
+/// the switch's OpenFlow agent shipping misses to the controller. Returns
+/// how many were sent; `xid` increments per message starting at
+/// `first_xid`.
+pub fn ship_packet_ins(
+    chan: &mut ControlChannel,
+    net: &mut Network,
+    switch: NodeId,
+    first_xid: u32,
+) -> usize {
+    use crate::openflow::PacketInReason;
+    let records = std::mem::take(&mut net.switch_mut(switch).miss_outbox);
+    let n = records.len();
+    for (i, rec) in records.into_iter().enumerate() {
+        chan.send_to_controller(&OfMessage::PacketIn {
+            xid: first_xid.wrapping_add(i as u32),
+            in_port: rec.in_port as u16,
+            flow: rec.flow,
+            total_len: rec.total_len.min(u16::MAX as u32) as u16,
+            reason: PacketInReason::NoMatch,
+        });
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdn_net::ftable::{Action, Decision, Match};
+    use mdn_net::packet::{FlowKey, Ip};
+
+    fn flow() -> FlowKey {
+        FlowKey::tcp(Ip::v4(10, 0, 0, 1), 1111, Ip::v4(10, 0, 0, 2), 80)
+    }
+
+    #[test]
+    fn channel_preserves_order_and_content() {
+        let mut chan = ControlChannel::new();
+        chan.send_to_switch(&OfMessage::Hello { xid: 1 });
+        chan.send_to_switch(&OfMessage::Hello { xid: 2 });
+        assert_eq!(chan.pending_at_switch(), 2);
+        assert_eq!(chan.recv_at_switch().unwrap().unwrap().xid(), 1);
+        assert_eq!(chan.recv_at_switch().unwrap().unwrap().xid(), 2);
+        assert!(chan.recv_at_switch().is_none());
+        assert_eq!(chan.frames_to_switch, 2);
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut chan = ControlChannel::new();
+        chan.send_to_controller(&OfMessage::Hello { xid: 9 });
+        assert_eq!(chan.pending_at_switch(), 0);
+        assert_eq!(chan.pending_at_controller(), 1);
+        assert_eq!(chan.recv_at_controller().unwrap().unwrap().xid(), 9);
+    }
+
+    #[test]
+    fn flow_mod_add_installs_through_the_wire() {
+        let mut net = Network::new();
+        let s = net.add_switch("s1", 4);
+        let mut chan = ControlChannel::new();
+        chan.send_to_switch(&OfMessage::FlowMod {
+            xid: 1,
+            command: FlowModCommand::Add,
+            priority: 5,
+            mat: Match::dst_transport_port(80),
+            action: Action::Forward(2),
+        });
+        assert_eq!(pump_to_switch(&mut chan, &mut net, s), 1);
+        assert_eq!(
+            net.switch_mut(s).table.lookup(0, &flow()),
+            Decision::Forward(2)
+        );
+    }
+
+    #[test]
+    fn flow_mod_delete_removes_through_the_wire() {
+        let mut net = Network::new();
+        let s = net.add_switch("s1", 4);
+        let mat = Match::dst_transport_port(80);
+        let mut chan = ControlChannel::new();
+        chan.send_to_switch(&OfMessage::FlowMod {
+            xid: 1,
+            command: FlowModCommand::Add,
+            priority: 5,
+            mat,
+            action: Action::Forward(2),
+        });
+        chan.send_to_switch(&OfMessage::FlowMod {
+            xid: 2,
+            command: FlowModCommand::Delete,
+            priority: 0,
+            mat,
+            action: Action::Drop,
+        });
+        assert_eq!(pump_to_switch(&mut chan, &mut net, s), 2);
+        assert_eq!(net.switch_mut(s).table.lookup(0, &flow()), Decision::Miss);
+    }
+
+    #[test]
+    fn non_mutating_messages_report_false() {
+        let mut net = Network::new();
+        let s = net.add_switch("s1", 2);
+        assert!(!apply_at_switch(&mut net, s, &OfMessage::Hello { xid: 0 }));
+        assert!(!apply_at_switch(
+            &mut net,
+            s,
+            &OfMessage::EchoRequest {
+                xid: 0,
+                payload: Bytes::new()
+            }
+        ));
+    }
+
+    #[test]
+    fn service_switch_answers_stats_requests() {
+        let mut net = Network::new();
+        let s = net.add_switch("s1", 2);
+        // Put something in a queue so the counters are non-trivial.
+        let mut pkt_flow = flow();
+        pkt_flow.dst_port = 99;
+        net.switch_mut(s).ports[1]
+            .queue
+            .enqueue(mdn_net::packet::Packet::new(
+                pkt_flow,
+                700,
+                0,
+                std::time::Duration::ZERO,
+            ));
+        let mut chan = ControlChannel::new();
+        chan.send_to_switch(&OfMessage::PortStatsRequest { xid: 5, port: 1 });
+        // A FlowMod in the same batch still applies.
+        chan.send_to_switch(&OfMessage::FlowMod {
+            xid: 6,
+            command: FlowModCommand::Add,
+            priority: 1,
+            mat: Match::ANY,
+            action: Action::Forward(1),
+        });
+        let (changed, replies) = service_switch(&mut chan, &mut net, s);
+        assert_eq!((changed, replies), (1, 1));
+        match chan.recv_at_controller().unwrap().unwrap() {
+            OfMessage::PortStatsReply {
+                xid,
+                port,
+                tx_packets,
+                tx_bytes,
+                queue_len,
+                queue_drops,
+            } => {
+                assert_eq!((xid, port), (5, 1));
+                assert_eq!(tx_packets, 1);
+                assert_eq!(tx_bytes, 700);
+                assert_eq!(queue_len, 1);
+                assert_eq!(queue_drops, 0);
+            }
+            other => panic!("expected stats reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ship_packet_ins_moves_misses_to_controller() {
+        use mdn_net::node::{MissPolicy, MissRecord};
+        let mut net = Network::new();
+        let s = net.add_switch("s1", 2);
+        net.set_miss_policy(s, MissPolicy::PacketIn);
+        // Simulate two recorded misses.
+        for k in 0..2u16 {
+            net.switch_mut(s).miss_outbox.push(MissRecord {
+                at: std::time::Duration::from_millis(k as u64),
+                in_port: 0,
+                flow: FlowKey::tcp(Ip::v4(10, 0, 0, 1), 1000 + k, Ip::v4(10, 0, 0, 2), 80),
+                total_len: 100,
+            });
+        }
+        let mut chan = ControlChannel::new();
+        assert_eq!(ship_packet_ins(&mut chan, &mut net, s, 100), 2);
+        assert!(net.switch(s).miss_outbox.is_empty(), "outbox should drain");
+        assert_eq!(chan.pending_at_controller(), 2);
+        let first = chan.recv_at_controller().unwrap().unwrap();
+        match first {
+            OfMessage::PacketIn { xid, flow, .. } => {
+                assert_eq!(xid, 100);
+                assert_eq!(flow.src_port, 1000);
+            }
+            other => panic!("expected PacketIn, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_of_absent_rule_reports_false() {
+        let mut net = Network::new();
+        let s = net.add_switch("s1", 2);
+        let msg = OfMessage::FlowMod {
+            xid: 1,
+            command: FlowModCommand::Delete,
+            priority: 0,
+            mat: Match::ANY,
+            action: Action::Drop,
+        };
+        assert!(!apply_at_switch(&mut net, s, &msg));
+    }
+}

@@ -1,0 +1,264 @@
+//! Wire-format primitives.
+//!
+//! Checked big-endian readers/writers over `bytes`, shared by the Music
+//! Protocol and the OpenFlow subset. All parse failures are typed — a
+//! malformed frame never panics.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Why a frame failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes were available than the format requires.
+    Truncated {
+        /// Bytes needed by the next field.
+        needed: usize,
+        /// Bytes remaining in the buffer.
+        available: usize,
+    },
+    /// A magic/constant field held the wrong value.
+    BadMagic {
+        /// Expected value.
+        expected: u32,
+        /// Observed value.
+        found: u32,
+    },
+    /// An unsupported protocol version.
+    BadVersion(u8),
+    /// An unknown message type discriminant.
+    UnknownType(u8),
+    /// The header's length field disagrees with the body.
+    LengthMismatch {
+        /// Header-declared length.
+        declared: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A field held a semantically invalid value.
+    InvalidField(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, available } => {
+                write!(f, "truncated frame: needed {needed} bytes, had {available}")
+            }
+            WireError::BadMagic { expected, found } => {
+                write!(f, "bad magic: expected {expected:#x}, found {found:#x}")
+            }
+            WireError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            WireError::UnknownType(t) => write!(f, "unknown message type {t}"),
+            WireError::LengthMismatch { declared, actual } => {
+                write!(
+                    f,
+                    "length mismatch: header says {declared}, body is {actual}"
+                )
+            }
+            WireError::InvalidField(name) => write!(f, "invalid field: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A checked big-endian reader over a byte buffer.
+#[derive(Debug)]
+pub struct Reader {
+    buf: Bytes,
+}
+
+impl Reader {
+    /// Wrap a buffer.
+    pub fn new(buf: Bytes) -> Self {
+        Self { buf }
+    }
+
+    /// Bytes left unread.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    fn need(&self, n: usize) -> Result<(), WireError> {
+        if self.buf.remaining() < n {
+            Err(WireError::Truncated {
+                needed: n,
+                available: self.buf.remaining(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    /// Read a big-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        self.need(2)?;
+        Ok(self.buf.get_u16())
+    }
+
+    /// Read a big-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32())
+    }
+
+    /// Read a big-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64())
+    }
+
+    /// Read exactly `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<Bytes, WireError> {
+        self.need(n)?;
+        Ok(self.buf.copy_to_bytes(n))
+    }
+
+    /// Error unless the buffer is fully consumed.
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.buf.has_remaining() {
+            Err(WireError::LengthMismatch {
+                declared: 0,
+                actual: self.buf.remaining(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// A big-endian writer producing a `Bytes` frame.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.put_u8(v);
+        self
+    }
+
+    /// Append a big-endian `u16`.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.put_u16(v);
+        self
+    }
+
+    /// Append a big-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.put_u32(v);
+        self
+    }
+
+    /// Append a big-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.put_u64(v);
+        self
+    }
+
+    /// Append raw bytes.
+    pub fn raw(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.put_slice(v);
+        self
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finish, producing the frame.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut w = Writer::new();
+        w.u8(0xAB)
+            .u16(0x1234)
+            .u32(0xDEADBEEF)
+            .u64(0x0102030405060708);
+        let frame = w.finish();
+        assert_eq!(frame.len(), 15);
+        let mut r = Reader::new(frame);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(r.u64().unwrap(), 0x0102030405060708);
+        assert!(r.expect_end().is_ok());
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let mut r = Reader::new(Bytes::from_static(&[0x01]));
+        assert_eq!(
+            r.u32(),
+            Err(WireError::Truncated {
+                needed: 4,
+                available: 1
+            })
+        );
+    }
+
+    #[test]
+    fn expect_end_catches_trailing_bytes() {
+        let mut r = Reader::new(Bytes::from_static(&[1, 2, 3]));
+        r.u8().unwrap();
+        let err = r.expect_end().unwrap_err();
+        assert!(matches!(err, WireError::LengthMismatch { actual: 2, .. }));
+    }
+
+    #[test]
+    fn big_endian_on_the_wire() {
+        let mut w = Writer::new();
+        w.u16(0x0102);
+        assert_eq!(&w.finish()[..], &[0x01, 0x02]);
+    }
+
+    #[test]
+    fn raw_bytes_roundtrip() {
+        let mut w = Writer::new();
+        w.raw(b"hello");
+        let mut r = Reader::new(w.finish());
+        assert_eq!(&r.bytes(5).unwrap()[..], b"hello");
+    }
+
+    #[test]
+    fn errors_display_usefully() {
+        let e = WireError::Truncated {
+            needed: 8,
+            available: 3,
+        };
+        assert!(e.to_string().contains("needed 8"));
+        let e = WireError::BadMagic {
+            expected: 0x4D50,
+            found: 0,
+        };
+        assert!(e.to_string().contains("0x4d50"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based invariants of the acoustic channel: propagation
+//! monotonicity, scene linearity, speaker/microphone contracts.
+
+use mdn_acoustics::ambient::AmbientProfile;
+use mdn_acoustics::medium::{
+    absorption_gain, propagation_delay_s, spreading_gain, Pos, NEAR_FIELD_LIMIT,
+};
+use mdn_acoustics::mic::Microphone;
+use mdn_acoustics::scene::Scene;
+use mdn_acoustics::speaker::{Speaker, ToneRequest};
+use mdn_audio::signal::spl_to_amplitude;
+use mdn_audio::synth::Tone;
+use proptest::prelude::*;
+use std::time::Duration;
+
+const SR: u32 = 44_100;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Spreading gain decreases monotonically with distance and never
+    /// exceeds the near-field cap.
+    #[test]
+    fn spreading_gain_monotone(a in 0.0f64..100.0, b in 0.0f64..100.0) {
+        if a < b {
+            prop_assert!(spreading_gain(a) >= spreading_gain(b));
+        }
+        prop_assert!(spreading_gain(a) <= 1.0 / NEAR_FIELD_LIMIT);
+        prop_assert!(spreading_gain(a) > 0.0);
+    }
+
+    /// Air absorption only attenuates (gain ≤ 1) and worsens with both
+    /// distance and frequency.
+    #[test]
+    fn absorption_is_attenuation(
+        d in 0.0f64..200.0,
+        f in 20.0f64..40_000.0,
+    ) {
+        let g = absorption_gain(d, f);
+        prop_assert!((0.0..=1.0).contains(&g));
+        prop_assert!(absorption_gain(d + 10.0, f) <= g);
+        prop_assert!(absorption_gain(d, f * 2.0) <= g + 1e-12);
+    }
+
+    /// Propagation delay is linear in distance.
+    #[test]
+    fn delay_linear(d in 0.0f64..500.0) {
+        let t = propagation_delay_s(d);
+        prop_assert!((propagation_delay_s(2.0 * d) - 2.0 * t).abs() < 1e-12);
+    }
+
+    /// Scene rendering is linear: rendering two emissions together equals
+    /// the sample-wise sum of rendering each alone (ambient subtracted via
+    /// a silent baseline).
+    #[test]
+    fn scene_mixing_is_linear(
+        f1 in 200.0f64..5_000.0,
+        f2 in 200.0f64..5_000.0,
+        x1 in 0.0f64..3.0,
+        x2 in 0.0f64..3.0,
+    ) {
+        let dur = Duration::from_millis(60);
+        let listen = Duration::from_millis(80);
+        let t1 = Tone::new(f1, dur, 0.1).render(SR);
+        let t2 = Tone::new(f2, dur, 0.1).render(SR);
+        let mic_at = Pos::ORIGIN;
+
+        let render = |emissions: &[(f64, &mdn_audio::Signal)]| {
+            let mut scene = Scene::quiet(SR);
+            for (x, sig) in emissions {
+                scene.add(Pos::new(*x, 0.0, 0.0), Duration::ZERO, (*sig).clone(), "t");
+            }
+            scene.render_at(mic_at, listen)
+        };
+        let base = render(&[]);
+        let only1 = render(&[(x1, &t1)]);
+        let only2 = render(&[(x2, &t2)]);
+        let both = render(&[(x1, &t1), (x2, &t2)]);
+        for i in 0..base.len() {
+            let expect = only1.samples()[i] + only2.samples()[i] - base.samples()[i];
+            prop_assert!((both.samples()[i] - expect).abs() < 1e-5);
+        }
+    }
+
+    /// The speaker's output level tracks the requested SPL (within the
+    /// clamp) regardless of frequency.
+    #[test]
+    fn speaker_level_is_calibrated(
+        freq in 150.0f64..12_000.0,
+        spl in 20.0f64..84.0,
+    ) {
+        let sp = Speaker::cheap();
+        let sig = sp
+            .play(ToneRequest { freq_hz: freq, duration: Duration::from_millis(200), level_spl: spl }, SR)
+            .unwrap();
+        let expected_rms = spl_to_amplitude(spl) / 2f64.sqrt();
+        let err = (sig.rms() - expected_rms).abs() / expected_rms;
+        prop_assert!(err < 0.06, "freq {} spl {}: rms err {}", freq, spl, err);
+    }
+
+    /// Microphone capture never produces samples outside full scale or
+    /// non-finite values, whatever the input level.
+    #[test]
+    fn microphone_output_bounded(
+        freq in 100.0f64..18_000.0,
+        level in 0.0f64..140.0,
+    ) {
+        let tone = Tone::new(freq, Duration::from_millis(50), spl_to_amplitude(level)).render(SR);
+        for mic in [Microphone::cheap(), Microphone::measurement()] {
+            let cap = mic.capture(&tone);
+            prop_assert!(cap.samples().iter().all(|s| s.is_finite() && s.abs() <= 1.0));
+        }
+    }
+
+    /// Ambient beds land within 1 dB of their configured SPL for any seed.
+    #[test]
+    fn ambient_level_calibrated(seed in 0u64..500) {
+        for profile in [AmbientProfile::office(), AmbientProfile::datacenter()] {
+            let bed = profile.render(Duration::from_millis(500), SR, seed);
+            prop_assert!(
+                (bed.rms_spl() - profile.level_spl).abs() < 1.0,
+                "{}: {} dB vs {} dB (seed {})",
+                profile.name, bed.rms_spl(), profile.level_spl, seed
+            );
+        }
+    }
+
+    /// A scene render is deterministic: same scene, same output.
+    #[test]
+    fn render_deterministic(seed in 0u64..200, x in 0.0f64..5.0) {
+        let build = || {
+            let mut scene = Scene::new(SR, AmbientProfile::office());
+            scene.set_ambient_seed(seed);
+            let t = Tone::new(900.0, Duration::from_millis(40), 0.05).render(SR);
+            scene.add(Pos::new(x, 0.0, 0.0), Duration::from_millis(10), t, "t");
+            scene.render_at(Pos::ORIGIN, Duration::from_millis(80))
+        };
+        let (a, b) = (build(), build());
+        prop_assert_eq!(a.samples(), b.samples());
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based invariants of the DSP substrate: transform round-trips,
+//! energy conservation, estimator agreement, scale monotonicity.
+
+use mdn_audio::fft::{Complex, FftPlanner};
+use mdn_audio::goertzel::Goertzel;
+use mdn_audio::mel::{hz_to_mel, mel_to_hz};
+use mdn_audio::signal::{db_to_ratio, ratio_to_db, Signal};
+use mdn_audio::spectral::Spectrum;
+use mdn_audio::synth::Tone;
+use proptest::prelude::*;
+use std::time::Duration;
+
+const SR: u32 = 44_100;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// IFFT(FFT(x)) == x for arbitrary real signals.
+    #[test]
+    fn fft_roundtrip_recovers_signal(
+        samples in prop::collection::vec(-1.0f32..1.0, 16..512),
+    ) {
+        let n = samples.len().next_power_of_two();
+        let mut buf: Vec<Complex> = samples
+            .iter()
+            .map(|&s| Complex::new(s as f64, 0.0))
+            .chain(std::iter::repeat(Complex::ZERO))
+            .take(n)
+            .collect();
+        let mut planner = FftPlanner::new();
+        planner.forward(&mut buf);
+        planner.inverse(&mut buf);
+        for (orig, got) in samples.iter().zip(&buf) {
+            prop_assert!((got.re - *orig as f64).abs() < 1e-6);
+            prop_assert!(got.im.abs() < 1e-6);
+        }
+    }
+
+    /// Parseval: time-domain and frequency-domain energy agree.
+    #[test]
+    fn parseval_holds(
+        samples in prop::collection::vec(-1.0f32..1.0, 64..256),
+    ) {
+        let n = samples.len().next_power_of_two();
+        let mut planner = FftPlanner::new();
+        let spec = planner.forward_real(&samples, None);
+        let time_energy: f64 = samples.iter().map(|&s| (s as f64).powi(2)).sum();
+        let freq_energy: f64 = spec.iter().map(|c| c.norm_sq()).sum::<f64>() / n as f64;
+        prop_assert!((time_energy - freq_energy).abs() <= 1e-6 * time_energy.max(1.0));
+    }
+
+    /// Goertzel and the FFT bin agree on any bin-aligned tone.
+    #[test]
+    fn goertzel_matches_fft_bin(bin in 5usize..500, amp in 0.01f64..1.0) {
+        let n = 2048usize;
+        let freq = bin as f64 * SR as f64 / n as f64;
+        let samples: Vec<f32> = (0..n)
+            .map(|i| (amp * (2.0 * std::f64::consts::PI * bin as f64 * i as f64 / n as f64).sin()) as f32)
+            .collect();
+        let g = Goertzel::new(freq, SR).magnitude(&samples);
+        let spec = FftPlanner::new().forward_real(&samples, None);
+        let f = spec[bin].norm() * 2.0 / n as f64;
+        prop_assert!((g - f).abs() < 1e-6, "goertzel {} fft {}", g, f);
+        prop_assert!((g - amp).abs() < amp * 0.01);
+    }
+
+    /// dB conversions invert each other over the audible dynamic range.
+    #[test]
+    fn db_ratio_roundtrip(db in -120.0f64..40.0) {
+        prop_assert!((ratio_to_db(db_to_ratio(db)) - db).abs() < 1e-9);
+    }
+
+    /// The mel map is a strictly monotone bijection on (0, 20 kHz].
+    #[test]
+    fn mel_bijective_and_monotone(a in 1.0f64..20_000.0, b in 1.0f64..20_000.0) {
+        prop_assert!((mel_to_hz(hz_to_mel(a)) - a).abs() < 1e-6 * a);
+        if a < b {
+            prop_assert!(hz_to_mel(a) < hz_to_mel(b));
+        }
+    }
+
+    /// Spectrum peak magnitude tracks tone amplitude linearly.
+    #[test]
+    fn peak_magnitude_tracks_amplitude(amp in 0.05f64..0.9) {
+        let tone = Tone::new(1000.0, Duration::from_millis(100), amp).render(SR);
+        let spec = Spectrum::of(&tone);
+        let peaks = spec.peaks(amp * 0.5, 50.0);
+        prop_assert!(!peaks.is_empty());
+        prop_assert!((peaks[0].magnitude - amp).abs() < amp * 0.15,
+            "amp {} measured {}", amp, peaks[0].magnitude);
+    }
+
+    /// Mixing is commutative: a+b and b+a produce identical buffers.
+    #[test]
+    fn mixing_commutes(f1 in 100.0f64..5_000.0, f2 in 100.0f64..5_000.0) {
+        let a = Tone::new(f1, Duration::from_millis(20), 0.3).render(SR);
+        let b = Tone::new(f2, Duration::from_millis(30), 0.3).render(SR);
+        let mut ab = a.clone();
+        ab.mix_at(&b, 0);
+        let mut ba = b.clone();
+        ba.mix_at(&a, 0);
+        prop_assert_eq!(ab.samples(), ba.samples());
+    }
+
+    /// RMS scales linearly with gain.
+    #[test]
+    fn rms_scales_with_gain(gain in 0.01f64..2.0) {
+        let s = Tone::new(700.0, Duration::from_millis(50), 0.4).render(SR);
+        let scaled = s.scaled(gain);
+        prop_assert!((scaled.rms() - s.rms() * gain).abs() < 1e-6);
+    }
+}
+
+/// Signals with non-finite samples never arise from the synthesizer or the
+/// noise generators (a crash-safety guard for the whole pipeline).
+#[test]
+fn generators_produce_finite_samples() {
+    use mdn_audio::noise::{band_noise, pink_noise, white_noise, MusicNoise};
+    let d = Duration::from_millis(200);
+    let all: Vec<Signal> = vec![
+        white_noise(d, 0.5, SR, 1),
+        pink_noise(d, 0.5, SR, 2),
+        band_noise(d, 100.0, 5000.0, 0.5, SR, 3),
+        MusicNoise::default().render(d, SR),
+        Tone::new(19_999.0, d, 1.0).render(SR),
+        mdn_audio::synth::chirp(10.0, 22_000.0, d, 1.0, SR),
+    ];
+    for s in all {
+        assert!(s.samples().iter().all(|v| v.is_finite()));
+    }
+}
