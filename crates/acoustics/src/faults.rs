@@ -1,0 +1,137 @@
+//! Acoustic-chain fault injection: dead speakers, dead mics, noise bursts.
+//!
+//! The Self-Healing Audio System line of work (see PAPERS.md) is about
+//! exactly these failures: a speaker that goes silent, a microphone whose
+//! capture drops out, a burst of interfering noise. A [`SceneFaultPlan`]
+//! attaches them to a [`Scene`](crate::scene::Scene) as *time windows*, so
+//! a chaos test can make the acoustic channel fail during a chosen part of
+//! the experiment and prove the control loop rides through it.
+
+use std::time::Duration;
+
+/// A half-open time window `[from, to)` on the scene timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeWindow {
+    /// Window start (inclusive).
+    pub from: Duration,
+    /// Window end (exclusive).
+    pub to: Duration,
+}
+
+impl TimeWindow {
+    /// A window `[from, to)`.
+    ///
+    /// # Panics
+    /// Panics unless `from < to`.
+    pub fn new(from: Duration, to: Duration) -> Self {
+        assert!(from < to, "window must start before it ends");
+        Self { from, to }
+    }
+
+    /// Does the window contain `t`?
+    pub fn contains(&self, t: Duration) -> bool {
+        t >= self.from && t < self.to
+    }
+}
+
+/// Faults applied to a scene at render time.
+///
+/// * **Speaker dropouts** — emissions whose label matches are silently
+///   skipped when they *start* inside the window (a dead amplifier plays
+///   nothing).
+/// * **Mic dead intervals** — the rendered signal is zeroed inside the
+///   window (a capture chain that briefly dies).
+/// * **Noise bursts** — seeded white noise at a given dB SPL is mixed in
+///   over the window (a fan spinning up, a door slamming).
+#[derive(Debug, Clone, Default)]
+pub struct SceneFaultPlan {
+    /// `(emitter label, window)` pairs: matching emissions are muted.
+    speaker_dropouts: Vec<(String, TimeWindow)>,
+    /// Windows where the listener hears nothing at all.
+    mic_dead: Vec<TimeWindow>,
+    /// `(window, level dB SPL)` noise bursts.
+    noise_bursts: Vec<(TimeWindow, f64)>,
+    /// Seed for the burst noise generators.
+    seed: u64,
+}
+
+impl SceneFaultPlan {
+    /// An empty plan (no faults) with the given noise seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Mute emissions labelled `label` that start inside `window`.
+    pub fn speaker_dropout(mut self, label: impl Into<String>, window: TimeWindow) -> Self {
+        self.speaker_dropouts.push((label.into(), window));
+        self
+    }
+
+    /// Zero everything the listener hears inside `window`.
+    pub fn mic_dead(mut self, window: TimeWindow) -> Self {
+        self.mic_dead.push(window);
+        self
+    }
+
+    /// Mix a white-noise burst at `level_db` SPL over `window`.
+    pub fn noise_burst(mut self, window: TimeWindow, level_db: f64) -> Self {
+        self.noise_bursts.push((window, level_db));
+        self
+    }
+
+    /// Is the emitter labelled `label` muted at `start`?
+    pub fn speaker_muted(&self, label: &str, start: Duration) -> bool {
+        self.speaker_dropouts
+            .iter()
+            .any(|(l, w)| l == label && w.contains(start))
+    }
+
+    /// Mic-dead windows.
+    pub fn mic_dead_windows(&self) -> &[TimeWindow] {
+        &self.mic_dead
+    }
+
+    /// Noise bursts as `(window, level dB SPL)`.
+    pub fn noise_bursts(&self) -> &[(TimeWindow, f64)] {
+        &self.noise_bursts
+    }
+
+    /// The burst noise seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: fn(u64) -> Duration = Duration::from_millis;
+
+    #[test]
+    fn window_is_half_open() {
+        let w = TimeWindow::new(MS(100), MS(200));
+        assert!(!w.contains(MS(99)));
+        assert!(w.contains(MS(100)));
+        assert!(w.contains(MS(199)));
+        assert!(!w.contains(MS(200)));
+    }
+
+    #[test]
+    #[should_panic(expected = "start before")]
+    fn window_rejects_inversion() {
+        TimeWindow::new(MS(200), MS(100));
+    }
+
+    #[test]
+    fn speaker_muting_matches_label_and_time() {
+        let plan =
+            SceneFaultPlan::new(0).speaker_dropout("sw-1", TimeWindow::new(MS(100), MS(300)));
+        assert!(plan.speaker_muted("sw-1", MS(150)));
+        assert!(!plan.speaker_muted("sw-1", MS(350)));
+        assert!(!plan.speaker_muted("sw-2", MS(150)));
+    }
+}

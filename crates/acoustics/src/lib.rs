@@ -9,7 +9,9 @@
 //! * [`medium`] — spherical spreading, air absorption, propagation delay;
 //! * [`ambient`] — datacenter / office / quiet noise beds at calibrated SPL;
 //! * [`scene`] — schedule emissions, render or capture at any listener
-//!   position.
+//!   position;
+//! * [`faults`] — injectable acoustic failures: speaker dropouts, mic dead
+//!   intervals, noise bursts.
 //!
 //! ```
 //! use mdn_acoustics::{scene::Scene, speaker::{Speaker, ToneRequest}, mic::Microphone, medium::Pos};
@@ -28,12 +30,14 @@
 #![warn(missing_docs)]
 
 pub mod ambient;
+pub mod faults;
 pub mod medium;
 pub mod mic;
 pub mod scene;
 pub mod speaker;
 
 pub use ambient::AmbientProfile;
+pub use faults::{SceneFaultPlan, TimeWindow};
 pub use medium::Pos;
 pub use mic::Microphone;
 pub use scene::Scene;

@@ -7,8 +7,10 @@
 //! is exactly the pressure field a microphone at that spot would see.
 
 use crate::ambient::AmbientProfile;
+use crate::faults::SceneFaultPlan;
 use crate::medium::{propagation_delay_s, spreading_gain, Pos};
 use crate::mic::Microphone;
+use mdn_audio::signal::{duration_to_samples, spl_to_amplitude};
 use mdn_audio::Signal;
 use std::time::Duration;
 
@@ -32,6 +34,7 @@ pub struct Scene {
     emissions: Vec<Emission>,
     ambient: AmbientProfile,
     ambient_seed: u64,
+    faults: Option<SceneFaultPlan>,
 }
 
 impl Scene {
@@ -43,6 +46,7 @@ impl Scene {
             emissions: Vec::new(),
             ambient,
             ambient_seed: 0,
+            faults: None,
         }
     }
 
@@ -54,6 +58,22 @@ impl Scene {
     /// Replace the ambient noise seed (defaults to 0).
     pub fn set_ambient_seed(&mut self, seed: u64) {
         self.ambient_seed = seed;
+    }
+
+    /// Attach (or replace) an acoustic fault plan. Faults apply at render
+    /// time, so one scene can be rendered with and without them.
+    pub fn set_faults(&mut self, plan: SceneFaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// Remove any attached fault plan.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// The attached fault plan, if any.
+    pub fn faults(&self) -> Option<&SceneFaultPlan> {
+        self.faults.as_ref()
     }
 
     /// The scene's sample rate.
@@ -111,6 +131,12 @@ impl Scene {
         }
         let total_len = out.len();
         for e in &self.emissions {
+            if let Some(plan) = &self.faults {
+                // A dead speaker plays nothing for the whole emission.
+                if plan.speaker_muted(&e.label, e.start) {
+                    continue;
+                }
+            }
             let dist = e.pos.distance(&listener);
             let gain = spreading_gain(dist);
             let delay = Duration::from_secs_f64(propagation_delay_s(dist));
@@ -121,8 +147,32 @@ impl Scene {
             let attenuated = e.signal.scaled(gain);
             out.mix_at_time(&attenuated, at);
         }
+        if let Some(plan) = &self.faults {
+            for (i, (win, level_db)) in plan.noise_bursts().iter().enumerate() {
+                if win.from >= duration {
+                    continue;
+                }
+                let burst = mdn_audio::noise::white_noise(
+                    win.to - win.from,
+                    spl_to_amplitude(*level_db),
+                    self.sample_rate,
+                    plan.seed() ^ (i as u64),
+                );
+                out.mix_at_time(&burst, win.from);
+            }
+        }
         // mix_at_time may have grown the buffer past `duration`; trim back.
-        out.slice(0, total_len)
+        let mut out = out.slice(0, total_len);
+        if let Some(plan) = &self.faults {
+            for win in plan.mic_dead_windows() {
+                let from = duration_to_samples(win.from, self.sample_rate).min(total_len);
+                let to = duration_to_samples(win.to, self.sample_rate).min(total_len);
+                for s in &mut out.samples_mut()[from..to] {
+                    *s = 0.0;
+                }
+            }
+        }
+        out
     }
 
     /// Render the scene at the microphone's position and pass it through
@@ -265,6 +315,68 @@ mod tests {
         let mut scene = Scene::quiet(SR);
         let wrong = Tone::new(500.0, Duration::from_millis(10), 0.1).render(48_000);
         scene.add(Pos::ORIGIN, Duration::ZERO, wrong, "bad");
+    }
+
+    #[test]
+    fn speaker_dropout_silences_matching_emission() {
+        use crate::faults::{SceneFaultPlan, TimeWindow};
+        let mut scene = Scene::quiet(SR);
+        scene.add(Pos::ORIGIN, Duration::ZERO, tone(1000.0, 300, 60.0), "sw-1");
+        let healthy = scene.render_at(Pos::new(0.5, 0.0, 0.0), Duration::from_millis(300));
+        scene.set_faults(SceneFaultPlan::new(0).speaker_dropout(
+            "sw-1",
+            TimeWindow::new(Duration::ZERO, Duration::from_secs(1)),
+        ));
+        let muted = scene.render_at(Pos::new(0.5, 0.0, 0.0), Duration::from_millis(300));
+        let h = Spectrum::of(&healthy).magnitude_at(1000.0);
+        let m = Spectrum::of(&muted).magnitude_at(1000.0);
+        assert!(h > spl_to_amplitude(55.0), "healthy peak {h}");
+        assert!(m < h / 10.0, "muted peak {m} vs healthy {h}");
+        // Dropout window over: the speaker plays again.
+        scene.set_faults(SceneFaultPlan::new(0).speaker_dropout(
+            "sw-1",
+            TimeWindow::new(Duration::from_secs(2), Duration::from_secs(3)),
+        ));
+        let later = scene.render_at(Pos::new(0.5, 0.0, 0.0), Duration::from_millis(300));
+        assert!(Spectrum::of(&later).magnitude_at(1000.0) > spl_to_amplitude(55.0));
+    }
+
+    #[test]
+    fn mic_dead_window_zeroes_capture() {
+        use crate::faults::{SceneFaultPlan, TimeWindow};
+        let mut scene = Scene::quiet(SR);
+        scene.add(Pos::ORIGIN, Duration::ZERO, tone(1000.0, 400, 70.0), "sw");
+        scene.set_faults(SceneFaultPlan::new(0).mic_dead(TimeWindow::new(
+            Duration::from_millis(100),
+            Duration::from_millis(200),
+        )));
+        let out = scene.render_at(Pos::new(0.5, 0.0, 0.0), Duration::from_millis(400));
+        let dead = out.window(Duration::from_millis(110), Duration::from_millis(80));
+        assert!(dead.samples().iter().all(|&s| s == 0.0), "dead window silent");
+        let alive = out.window(Duration::from_millis(250), Duration::from_millis(100));
+        assert!(alive.samples().iter().any(|&s| s != 0.0));
+    }
+
+    #[test]
+    fn noise_burst_raises_level_inside_window_only() {
+        use crate::faults::{SceneFaultPlan, TimeWindow};
+        let mut scene = Scene::quiet(SR);
+        scene.set_faults(SceneFaultPlan::new(7).noise_burst(
+            TimeWindow::new(Duration::from_millis(200), Duration::from_millis(400)),
+            65.0,
+        ));
+        let out = scene.render_at(Pos::ORIGIN, Duration::from_millis(600));
+        let quiet = out.window(Duration::ZERO, Duration::from_millis(180));
+        let loud = out.window(Duration::from_millis(210), Duration::from_millis(180));
+        assert!(
+            loud.rms_spl() > quiet.rms_spl() + 20.0,
+            "burst {} vs quiet {}",
+            loud.rms_spl(),
+            quiet.rms_spl()
+        );
+        // Deterministic: same plan, same burst.
+        let again = scene.render_at(Pos::ORIGIN, Duration::from_millis(600));
+        assert_eq!(out.samples(), again.samples());
     }
 
     #[test]

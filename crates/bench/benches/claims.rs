@@ -125,7 +125,7 @@ fn bench_live_listener(c: &mut Criterion) {
                 listener.push(audio.slice(fed, to));
                 fed = to;
             }
-            black_box(listener.finish().len())
+            black_box(listener.finish().expect("worker healthy").len())
         })
     });
     group.finish();

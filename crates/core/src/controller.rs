@@ -9,6 +9,7 @@
 
 use crate::detector::{DetectorConfig, ToneDetector, ToneObservation};
 use crate::freqplan::FrequencySet;
+use crate::health::{ControlPath, HealthState, HealthTracker};
 use mdn_acoustics::medium::Pos;
 use mdn_acoustics::mic::Microphone;
 use mdn_acoustics::scene::Scene;
@@ -51,6 +52,9 @@ pub struct MdnController {
     config: DetectorConfig,
     /// Map from detector-candidate index to (binding index, local slot).
     candidate_map: Vec<(usize, usize)>,
+    /// Per-device health ladder (fed by delivery evidence, drives the
+    /// wire-vs-acoustic control-path decision).
+    health: HealthTracker,
 }
 
 impl MdnController {
@@ -64,7 +68,28 @@ impl MdnController {
             detector: None,
             config: DetectorConfig::default(),
             candidate_map: Vec::new(),
+            health: HealthTracker::default(),
         }
+    }
+
+    /// The per-device health tracker (read side).
+    pub fn health(&self) -> &HealthTracker {
+        &self.health
+    }
+
+    /// The per-device health tracker (to feed delivery evidence).
+    pub fn health_mut(&mut self) -> &mut HealthTracker {
+        &mut self.health
+    }
+
+    /// `device`'s current position on the degradation ladder.
+    pub fn device_state(&self, device: &str) -> HealthState {
+        self.health.state(device)
+    }
+
+    /// Which control path the controller should use for `device`.
+    pub fn control_path(&self, device: &str) -> ControlPath {
+        self.health.control_path(device)
     }
 
     /// Replace the detector configuration (before or between listens).
@@ -355,6 +380,19 @@ mod tests {
         let events: Vec<MdnEvent> = (0..9).map(|i| ev("sw1", 0, i * 25)).collect();
         let collapsed = collapse_events(&events, Duration::from_millis(60));
         assert_eq!(collapsed.len(), 1);
+    }
+
+    #[test]
+    fn controller_tracks_device_health() {
+        use crate::health::{ControlPath, HealthState};
+        let (_, mut ctl, _, _) = setup();
+        assert_eq!(ctl.device_state("sw1"), HealthState::Healthy);
+        assert_eq!(ctl.control_path("sw1"), ControlPath::Wire);
+        ctl.health_mut()
+            .record_expiry("sw1", 2, Duration::from_millis(900));
+        assert_eq!(ctl.device_state("sw1"), HealthState::Quarantined);
+        assert_eq!(ctl.control_path("sw1"), ControlPath::Acoustic);
+        assert_eq!(ctl.device_state("sw2"), HealthState::Healthy);
     }
 
     #[test]

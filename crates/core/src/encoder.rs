@@ -10,7 +10,7 @@ use crate::freqplan::FrequencySet;
 use mdn_acoustics::medium::Pos;
 use mdn_acoustics::scene::Scene;
 use mdn_acoustics::speaker::{Speaker, SpeakerError, ToneRequest};
-use mdn_proto::mp::{MpMessage, MpTone};
+use mdn_proto::mp::{MpMessage, MpTone, MpToneError};
 use std::time::Duration;
 
 /// Default tone duration: the paper's ~50 ms analysis window.
@@ -32,6 +32,8 @@ pub enum EmitError {
     },
     /// The speaker refused the tone.
     Speaker(SpeakerError),
+    /// The requested tone does not fit the Music Protocol wire encoding.
+    Tone(MpToneError),
 }
 
 impl std::fmt::Display for EmitError {
@@ -41,6 +43,7 @@ impl std::fmt::Display for EmitError {
                 write!(f, "slot {slot} out of range for a {set_len}-tone set")
             }
             EmitError::Speaker(e) => write!(f, "speaker: {e}"),
+            EmitError::Tone(e) => write!(f, "tone: {e}"),
         }
     }
 }
@@ -50,6 +53,12 @@ impl std::error::Error for EmitError {}
 impl From<SpeakerError> for EmitError {
     fn from(e: SpeakerError) -> Self {
         EmitError::Speaker(e)
+    }
+}
+
+impl From<MpToneError> for EmitError {
+    fn from(e: MpToneError) -> Self {
+        EmitError::Tone(e)
     }
 }
 
@@ -109,7 +118,7 @@ impl SoundingDevice {
         // would, then decode it on the "Pi" side.
         let msg = MpMessage::PlayTone {
             seq: self.next_seq,
-            tone: MpTone::from_units(freq_hz, duration, self.level_db),
+            tone: MpTone::try_from_units(freq_hz, duration, self.level_db)?,
         };
         self.next_seq = self.next_seq.wrapping_add(1);
         let frame = msg.encode();
@@ -161,12 +170,12 @@ impl SoundingDevice {
         let tones: Vec<(MpTone, Duration)> = slots
             .iter()
             .map(|&s| {
-                (
-                    MpTone::from_units(self.set.freq(s), tone, self.level_db),
+                Ok((
+                    MpTone::try_from_units(self.set.freq(s), tone, self.level_db)?,
                     gap,
-                )
+                ))
             })
-            .collect();
+            .collect::<Result<_, MpToneError>>()?;
         let msg = MpMessage::PlaySequence {
             seq: self.next_seq,
             tones,
@@ -275,6 +284,17 @@ mod tests {
             err,
             EmitError::Speaker(SpeakerError::OutOfBand { .. })
         ));
+    }
+
+    #[test]
+    fn unencodable_tone_is_an_error_not_a_panic() {
+        let mut dev = device();
+        dev.level_db = -3.0; // below the MP intensity encoding's floor
+        let mut scene = Scene::quiet(SR);
+        let err = dev.emit(&mut scene, 0, Duration::ZERO).unwrap_err();
+        assert!(matches!(err, EmitError::Tone(_)), "got {err:?}");
+        assert!(err.to_string().contains("intensity out of range"));
+        assert_eq!(scene.num_emissions(), 0);
     }
 
     #[test]

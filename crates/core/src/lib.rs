@@ -17,6 +17,8 @@
 //! * [`apps`] — the six applications of §4–§7 plus the open-problem
 //!   extensions;
 //! * [`fan`] — the parametric server-fan model behind Figures 6–7;
+//! * [`health`] — the controller's per-device degradation ladder
+//!   (Healthy → Degraded → Quarantined) and wire/acoustic path choice;
 //! * [`relay`] — the §8 multi-hop tone relay extension;
 //! * [`live`] — a threaded streaming listener for endless microphone
 //!   input (chunked audio in, events out);
@@ -54,6 +56,7 @@ pub mod detector;
 pub mod encoder;
 pub mod fan;
 pub mod freqplan;
+pub mod health;
 pub mod live;
 pub mod relay;
 pub mod sequence;
@@ -62,3 +65,5 @@ pub use controller::{MdnController, MdnEvent};
 pub use detector::{DetectorConfig, ToneDetector};
 pub use encoder::SoundingDevice;
 pub use freqplan::{FrequencyPlan, FrequencySet};
+pub use health::{ControlPath, HealthConfig, HealthState, HealthTracker};
+pub use live::ListenerPanic;

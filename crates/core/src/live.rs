@@ -15,9 +15,22 @@ use crossbeam::channel::{bounded, Sender};
 use mdn_audio::signal::duration_to_samples;
 use mdn_audio::Signal;
 use parking_lot::Mutex;
+use std::fmt;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// The listener's worker thread panicked; the payload is preserved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ListenerPanic(pub String);
+
+impl fmt::Display for ListenerPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "live listener worker panicked: {}", self.0)
+    }
+}
+
+impl std::error::Error for ListenerPanic {}
 
 /// Handle to a running live listener.
 ///
@@ -154,17 +167,22 @@ impl LiveListener {
     /// Push one captured chunk (blocks when the queue is full —
     /// backpressure toward the capture side).
     ///
+    /// A dead worker (it panicked) makes this a no-op; the panic surfaces
+    /// from [`Self::finish`].
+    ///
     /// # Panics
     /// Panics if called after [`Self::finish`], or if the chunk's sample
     /// rate differs from the listener's.
     pub fn push(&mut self, chunk: Signal) {
-        assert_eq!(chunk.sample_rate(), self.sample_rate, "chunk sample rate mismatch");
+        assert_eq!(
+            chunk.sample_rate(),
+            self.sample_rate,
+            "chunk sample rate mismatch"
+        );
         self.samples_sent += chunk.len() as u64;
-        self.tx
-            .as_ref()
-            .expect("push after finish")
-            .send(chunk)
-            .expect("listener thread alive");
+        // A send error means the worker hung up (panicked); swallow it
+        // here — finish() reports the panic properly.
+        let _ = self.tx.as_ref().expect("push after finish").send(chunk);
     }
 
     /// Take the events decoded so far (deduplication across overlapping
@@ -175,13 +193,21 @@ impl LiveListener {
     }
 
     /// Close the stream and wait for the worker to finish analyzing
-    /// everything queued. Returns all remaining events.
-    pub fn finish(mut self) -> Vec<MdnEvent> {
+    /// everything queued. Returns all remaining events, or the worker's
+    /// panic payload if it died mid-stream.
+    pub fn finish(mut self) -> Result<Vec<MdnEvent>, ListenerPanic> {
         drop(self.tx.take());
         if let Some(worker) = self.worker.take() {
-            worker.join().expect("listener thread panicked");
+            if let Err(payload) = worker.join() {
+                let msg = payload
+                    .downcast_ref::<&'static str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "worker panicked with non-string payload".to_string());
+                return Err(ListenerPanic(msg));
+            }
         }
-        self.drain_events()
+        Ok(self.drain_events())
     }
 }
 
@@ -232,7 +258,7 @@ mod tests {
             listener.push(full.slice(start, end));
             start = end;
         }
-        let events = listener.finish();
+        let events = listener.finish().expect("worker healthy");
         collapse_events(&events, Duration::from_millis(80))
     }
 
@@ -301,7 +327,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(50));
         let early = listener.drain_events();
         listener.push(full.slice(half, full.len()));
-        let late = listener.finish();
+        let late = listener.finish().expect("worker healthy");
         let mut all = early;
         all.extend(late);
         let decoded: Vec<usize> = collapse_events(&all, Duration::from_millis(80))
@@ -319,7 +345,7 @@ mod tests {
         for _ in 0..5 {
             listener.push(Signal::silence(Duration::from_millis(100), SR));
         }
-        assert!(listener.finish().is_empty());
+        assert!(listener.finish().expect("worker healthy").is_empty());
     }
 
     #[test]
@@ -329,5 +355,29 @@ mod tests {
         let set = plan.allocate("dev", 2).unwrap();
         let mut listener = LiveListener::start("dev", set, SR, 2);
         listener.push(Signal::silence(Duration::from_millis(10), 48_000));
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_error_from_finish() {
+        // Regression: a panicking worker used to be swallowed (push's
+        // `send(..).expect(..)` crashed the capture thread with an
+        // unrelated message, and Drop ignored the join result). Trip the
+        // worker's own sample-rate assertion by forging the handle's
+        // recorded rate, so push's front-door check passes but the
+        // worker's invariant is violated.
+        let mut plan = FrequencyPlan::new(700.0, 1500.0, 60.0);
+        let set = plan.allocate("dev", 2).unwrap();
+        let mut listener = LiveListener::start("dev", set, SR, 2);
+        // Forge the handle's rate so push's front-door check passes but
+        // the worker's invariant (chunks match ITS rate) is violated.
+        listener.sample_rate = 48_000;
+        listener.push(Signal::silence(Duration::from_millis(10), 48_000));
+        let err = listener.finish().expect_err("worker must have panicked");
+        assert!(
+            err.0.contains("sample rate"),
+            "unexpected payload: {}",
+            err.0
+        );
+        assert!(err.to_string().contains("worker panicked"));
     }
 }

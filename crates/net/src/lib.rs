@@ -17,7 +17,9 @@
 //! * [`sim`] — the deterministic event queue;
 //! * [`network`] — the event loop and the tick-driven controller API;
 //! * [`topology`] — line / rhomboid / star builders from the paper;
-//! * [`stats`] — time series, CDFs and quantiles for the figures.
+//! * [`stats`] — time series, CDFs and quantiles for the figures;
+//! * [`faults`] — scheduled link flaps and switch crash/restart scripts
+//!   for chaos scenarios.
 //!
 //! ```
 //! use mdn_net::{network::Network, topology, ftable::{Rule, Match, Action}};
@@ -45,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod flow;
 pub mod ftable;
 pub mod link;
@@ -57,6 +60,7 @@ pub mod stats;
 pub mod topology;
 pub mod traffic;
 
+pub use faults::{FaultScript, NetFault};
 pub use network::{Network, RunOutcome};
 pub use packet::{FlowKey, Ip, Packet, Proto};
 pub use sim::NodeId;

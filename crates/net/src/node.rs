@@ -90,6 +90,9 @@ pub struct SwitchNode {
     /// Control-plane outbox: table-miss summaries awaiting the controller
     /// (populated under [`MissPolicy::PacketIn`]).
     pub miss_outbox: Vec<MissRecord>,
+    /// True while the switch is crashed: it black-holes every packet and
+    /// its flow table has been wiped. Set via `Network::crash_switch`.
+    pub crashed: bool,
 }
 
 impl SwitchNode {
@@ -106,6 +109,7 @@ impl SwitchNode {
             policy_drops: 0,
             tap: None,
             miss_outbox: Vec::new(),
+            crashed: false,
         }
     }
 

@@ -6,61 +6,120 @@
 //! can't hide. A [`ControlChannel`] is a pair of one-way frame queues; the
 //! helpers apply decoded FlowMods to a live [`mdn_net::Network`].
 
+use crate::faults::{DirectionFaults, FaultStats, FaultyQueue};
 use crate::openflow::{FlowModCommand, OfMessage};
 use crate::wire::WireError;
 use bytes::Bytes;
 use mdn_net::network::Network;
 use mdn_net::sim::NodeId;
-use std::collections::VecDeque;
 
 /// A bidirectional, in-memory, frame-oriented channel.
 ///
 /// The two directions are named from the controller's perspective:
-/// `send_to_switch` / `recv_from_switch`.
+/// `send_to_switch` / `recv_from_switch`. Each direction is a
+/// [`FaultyQueue`] — perfect by default, lossy/corrupting/reordering when
+/// a [`DirectionFaults`] policy is attached via [`attach_faults`].
+///
+/// [`attach_faults`]: ControlChannel::attach_faults
 #[derive(Debug, Default)]
 pub struct ControlChannel {
-    to_switch: VecDeque<Bytes>,
-    to_controller: VecDeque<Bytes>,
+    to_switch: FaultyQueue,
+    to_controller: FaultyQueue,
     /// Frames delivered controller → switch.
     pub frames_to_switch: u64,
     /// Frames delivered switch → controller.
     pub frames_to_controller: u64,
+    /// Frames that failed to decode on the switch side.
+    pub malformed_to_switch: u64,
+    /// Frames that failed to decode on the controller side.
+    pub malformed_to_controller: u64,
 }
 
 impl ControlChannel {
-    /// An empty channel.
+    /// An empty, lossless channel.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Attach per-direction fault policies. Per-direction RNG seeds are
+    /// derived from `seed` (to-switch first, then to-controller), so one
+    /// scenario seed fixes the whole fault pattern. Frames already queued
+    /// are preserved.
+    pub fn attach_faults(&mut self, seed: u64, to_switch: DirectionFaults, to_controller: DirectionFaults) {
+        let mut root = crate::faults::FaultRng::new(seed);
+        let sw_seed = root.next_u64();
+        let ct_seed = root.next_u64();
+        self.to_switch.set_faults(sw_seed, to_switch);
+        self.to_controller.set_faults(ct_seed, to_controller);
+    }
+
+    /// Advance both directions' delay clocks by one tick (a no-op unless
+    /// a delay fault is attached).
+    pub fn tick_faults(&mut self) {
+        self.to_switch.tick();
+        self.to_controller.tick();
+    }
+
+    /// Per-direction fault accounting `(to_switch, to_controller)`.
+    pub fn fault_stats(&self) -> (FaultStats, FaultStats) {
+        (self.to_switch.stats, self.to_controller.stats)
+    }
+
     /// Controller → switch: enqueue an encoded message.
     pub fn send_to_switch(&mut self, msg: &OfMessage) {
-        self.to_switch.push_back(msg.encode());
+        self.to_switch.push(msg.encode());
         self.frames_to_switch += 1;
     }
 
     /// Switch → controller: enqueue an encoded message.
     pub fn send_to_controller(&mut self, msg: &OfMessage) {
-        self.to_controller.push_back(msg.encode());
+        self.to_controller.push(msg.encode());
         self.frames_to_controller += 1;
     }
 
-    /// Switch side: dequeue and decode the next frame.
+    /// Inject a raw (possibly garbage) frame toward the switch — a test
+    /// hook for exercising the malformed-frame path.
+    pub fn inject_to_switch(&mut self, frame: Bytes) {
+        self.to_switch.push(frame);
+        self.frames_to_switch += 1;
+    }
+
+    /// Inject a raw (possibly garbage) frame toward the controller.
+    pub fn inject_to_controller(&mut self, frame: Bytes) {
+        self.to_controller.push(frame);
+        self.frames_to_controller += 1;
+    }
+
+    /// Switch side: dequeue and decode the next frame. A decode failure
+    /// bumps [`malformed_to_switch`](Self::malformed_to_switch) and still
+    /// surfaces the error to the caller.
     pub fn recv_at_switch(&mut self) -> Option<Result<OfMessage, WireError>> {
-        self.to_switch.pop_front().map(OfMessage::decode)
+        let decoded = self.to_switch.pop().map(OfMessage::decode);
+        if matches!(decoded, Some(Err(_))) {
+            self.malformed_to_switch += 1;
+        }
+        decoded
     }
 
-    /// Controller side: dequeue and decode the next frame.
+    /// Controller side: dequeue and decode the next frame. A decode
+    /// failure bumps
+    /// [`malformed_to_controller`](Self::malformed_to_controller) and
+    /// still surfaces the error to the caller.
     pub fn recv_at_controller(&mut self) -> Option<Result<OfMessage, WireError>> {
-        self.to_controller.pop_front().map(OfMessage::decode)
+        let decoded = self.to_controller.pop().map(OfMessage::decode);
+        if matches!(decoded, Some(Err(_))) {
+            self.malformed_to_controller += 1;
+        }
+        decoded
     }
 
-    /// Frames waiting on the switch side.
+    /// Frames waiting on the switch side (excluding delay-held frames).
     pub fn pending_at_switch(&self) -> usize {
         self.to_switch.len()
     }
 
-    /// Frames waiting on the controller side.
+    /// Frames waiting on the controller side (excluding delay-held
+    /// frames).
     pub fn pending_at_controller(&self) -> usize {
         self.to_controller.len()
     }
@@ -92,13 +151,13 @@ pub fn apply_at_switch(net: &mut Network, switch: NodeId, msg: &OfMessage) -> bo
 /// Drain every frame queued for the switch, decoding and applying each.
 /// Returns how many messages changed state.
 ///
-/// # Panics
-/// Panics on a malformed frame: in-memory channels only carry frames we
-/// encoded ourselves, so corruption here is a bug, not input.
+/// Malformed frames (possible once corruption faults are attached) are
+/// skipped; [`ControlChannel::recv_at_switch`] has already counted them
+/// in `malformed_to_switch`.
 pub fn pump_to_switch(chan: &mut ControlChannel, net: &mut Network, switch: NodeId) -> usize {
     let mut changed = 0;
     while let Some(frame) = chan.recv_at_switch() {
-        let msg = frame.expect("in-memory control frame must decode");
+        let Ok(msg) = frame else { continue };
         if apply_at_switch(net, switch, &msg) {
             changed += 1;
         }
@@ -109,11 +168,11 @@ pub fn pump_to_switch(chan: &mut ControlChannel, net: &mut Network, switch: Node
 /// Service every frame queued for the switch like [`pump_to_switch`], but
 /// additionally answer `PortStatsRequest`s with `PortStatsReply`s built
 /// from the live switch state — the in-band polling loop that MDN's queue
-/// tones replace. Returns `(state_changes, stats_replies)`.
+/// tones replace — and `EchoRequest`s with `EchoReply`s (the liveness
+/// probes [`EchoMonitor`](crate::reliable::EchoMonitor) sends). Returns
+/// `(state_changes, replies)` where `replies` counts both kinds.
 ///
-/// # Panics
-/// Panics on a malformed frame (in-memory channels only carry frames we
-/// encoded ourselves).
+/// Malformed frames are skipped (counted in `malformed_to_switch`).
 pub fn service_switch(
     chan: &mut ControlChannel,
     net: &mut Network,
@@ -122,8 +181,15 @@ pub fn service_switch(
     let mut changed = 0;
     let mut replies = 0;
     while let Some(frame) = chan.recv_at_switch() {
-        let msg = frame.expect("in-memory control frame must decode");
+        let Ok(msg) = frame else { continue };
         match &msg {
+            OfMessage::EchoRequest { xid, payload } => {
+                chan.send_to_controller(&OfMessage::EchoReply {
+                    xid: *xid,
+                    payload: payload.clone(),
+                });
+                replies += 1;
+            }
             OfMessage::PortStatsRequest { xid, port } => {
                 let s = net.switch(switch);
                 let p = &s.ports[*port as usize];
@@ -336,6 +402,73 @@ mod tests {
             }
             other => panic!("expected PacketIn, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn malformed_frames_are_counted_and_skipped() {
+        let mut net = Network::new();
+        let s = net.add_switch("s1", 2);
+        let mut chan = ControlChannel::new();
+        chan.inject_to_switch(Bytes::from_static(&[0xFF, 0xEE, 0xDD]));
+        chan.send_to_switch(&OfMessage::FlowMod {
+            xid: 1,
+            command: FlowModCommand::Add,
+            priority: 1,
+            mat: Match::ANY,
+            action: Action::Forward(1),
+        });
+        // The garbage frame is skipped, the FlowMod still applies.
+        assert_eq!(pump_to_switch(&mut chan, &mut net, s), 1);
+        assert_eq!(chan.malformed_to_switch, 1);
+        assert_eq!(chan.malformed_to_controller, 0);
+
+        chan.inject_to_controller(Bytes::from_static(&[0x00]));
+        assert!(chan.recv_at_controller().unwrap().is_err());
+        assert_eq!(chan.malformed_to_controller, 1);
+    }
+
+    #[test]
+    fn service_switch_answers_echo_requests() {
+        let mut net = Network::new();
+        let s = net.add_switch("s1", 2);
+        let mut chan = ControlChannel::new();
+        chan.send_to_switch(&OfMessage::EchoRequest {
+            xid: 42,
+            payload: Bytes::from_static(b"ping"),
+        });
+        let (changed, replies) = service_switch(&mut chan, &mut net, s);
+        assert_eq!((changed, replies), (0, 1));
+        match chan.recv_at_controller().unwrap().unwrap() {
+            OfMessage::EchoReply { xid, payload } => {
+                assert_eq!(xid, 42);
+                assert_eq!(&payload[..], b"ping");
+            }
+            other => panic!("expected echo reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn attached_drop_faults_lose_frames_deterministically() {
+        use crate::faults::DirectionFaults;
+        let run = |seed: u64| {
+            let mut chan = ControlChannel::new();
+            chan.attach_faults(seed, DirectionFaults::none().drop(0.5), DirectionFaults::none());
+            for xid in 0..20 {
+                chan.send_to_switch(&OfMessage::Hello { xid });
+            }
+            let mut got = Vec::new();
+            while let Some(Ok(msg)) = chan.recv_at_switch() {
+                got.push(msg.xid());
+            }
+            let (sw, _) = chan.fault_stats();
+            (got, sw.dropped)
+        };
+        let (got_a, dropped_a) = run(7);
+        let (got_b, dropped_b) = run(7);
+        assert_eq!(got_a, got_b, "same seed, same survivors");
+        assert_eq!(dropped_a, dropped_b);
+        assert!(dropped_a > 0, "seed 7 must drop something at p=0.5");
+        assert_eq!(got_a.len() as u64 + dropped_a, 20);
     }
 
     #[test]

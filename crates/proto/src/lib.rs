@@ -11,7 +11,11 @@
 //!   does with its SDN controller;
 //! * [`wire`] — shared checked big-endian readers/writers;
 //! * [`channel`] — in-memory control channels that preserve the full
-//!   encode→decode path between controller and switches.
+//!   encode→decode path between controller and switches;
+//! * [`faults`] — seeded, deterministic frame-level fault injection
+//!   (drop, corruption, reordering, delay) attachable to any channel;
+//! * [`reliable`] — ARQ machinery over MP (`seq`/`Ack` retransmission
+//!   with exponential backoff) and OpenFlow echo liveness probing.
 //!
 //! ```
 //! use mdn_proto::mp::{MpMessage, MpTone};
@@ -28,11 +32,15 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod faults;
 pub mod mp;
 pub mod openflow;
+pub mod reliable;
 pub mod wire;
 
 pub use channel::ControlChannel;
-pub use mp::{MpMessage, MpTone};
+pub use faults::{DirectionFaults, FaultRng, FaultStats, FaultyQueue};
+pub use mp::{MpMessage, MpTone, MpToneError};
 pub use openflow::OfMessage;
+pub use reliable::{BackoffConfig, EchoMonitor, MpDeliveryStats, MpEndpoint, MpLink, MpReceiver};
 pub use wire::WireError;

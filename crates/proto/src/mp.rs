@@ -25,6 +25,7 @@
 
 use crate::wire::{Reader, WireError, Writer};
 use bytes::Bytes;
+use std::fmt;
 use std::time::Duration;
 
 /// MP magic: ASCII "MP".
@@ -49,29 +50,69 @@ pub struct MpTone {
     pub intensity_ddb: u16,
 }
 
+/// Why a tone's engineering units don't fit the wire format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MpToneError {
+    /// Frequency outside `0 ..= u32::MAX` centihertz (or not finite).
+    FrequencyOutOfRange(f64),
+    /// Duration longer than `u16::MAX` milliseconds.
+    DurationOutOfRange(Duration),
+    /// Intensity outside `0 ..= u16::MAX` deci-dB (or not finite).
+    IntensityOutOfRange(f64),
+}
+
+impl fmt::Display for MpToneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpToneError::FrequencyOutOfRange(hz) => {
+                write!(f, "frequency out of range: {hz} Hz")
+            }
+            MpToneError::DurationOutOfRange(d) => {
+                write!(f, "duration out of range: {d:?}")
+            }
+            MpToneError::IntensityOutOfRange(db) => {
+                write!(f, "intensity out of range: {db} dB SPL")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MpToneError {}
+
 impl MpTone {
-    /// Build from engineering units.
-    ///
-    /// # Panics
-    /// Panics if the values exceed the wire ranges.
-    pub fn from_units(freq_hz: f64, duration: Duration, intensity_db: f64) -> Self {
+    /// Build from engineering units, checking the wire ranges.
+    pub fn try_from_units(
+        freq_hz: f64,
+        duration: Duration,
+        intensity_db: f64,
+    ) -> Result<Self, MpToneError> {
         let freq_chz = (freq_hz * 100.0).round();
-        assert!(
-            (0.0..=u32::MAX as f64).contains(&freq_chz),
-            "frequency out of range"
-        );
+        if !(0.0..=u32::MAX as f64).contains(&freq_chz) {
+            return Err(MpToneError::FrequencyOutOfRange(freq_hz));
+        }
         let duration_ms = duration.as_millis();
-        assert!(duration_ms <= u16::MAX as u128, "duration out of range");
+        if duration_ms > u16::MAX as u128 {
+            return Err(MpToneError::DurationOutOfRange(duration));
+        }
         let ddb = (intensity_db * 10.0).round();
-        assert!(
-            (0.0..=u16::MAX as f64).contains(&ddb),
-            "intensity out of range"
-        );
-        Self {
+        if !(0.0..=u16::MAX as f64).contains(&ddb) {
+            return Err(MpToneError::IntensityOutOfRange(intensity_db));
+        }
+        Ok(Self {
             freq_chz: freq_chz as u32,
             duration_ms: duration_ms as u16,
             intensity_ddb: ddb as u16,
-        }
+        })
+    }
+
+    /// Build from engineering units.
+    ///
+    /// # Panics
+    /// Panics if the values exceed the wire ranges; use
+    /// [`try_from_units`](Self::try_from_units) to handle that
+    /// gracefully.
+    pub fn from_units(freq_hz: f64, duration: Duration, intensity_db: f64) -> Self {
+        Self::try_from_units(freq_hz, duration, intensity_db).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Frequency in Hz.
@@ -349,5 +390,35 @@ mod tests {
     #[should_panic(expected = "duration out of range")]
     fn from_units_checks_duration() {
         MpTone::from_units(440.0, Duration::from_secs(120), 60.0);
+    }
+
+    #[test]
+    fn try_from_units_returns_typed_errors() {
+        assert!(matches!(
+            MpTone::try_from_units(-1.0, Duration::from_millis(50), 60.0),
+            Err(MpToneError::FrequencyOutOfRange(_))
+        ));
+        assert!(matches!(
+            MpTone::try_from_units(f64::NAN, Duration::from_millis(50), 60.0),
+            Err(MpToneError::FrequencyOutOfRange(_))
+        ));
+        assert!(matches!(
+            MpTone::try_from_units(440.0, Duration::from_secs(120), 60.0),
+            Err(MpToneError::DurationOutOfRange(_))
+        ));
+        assert!(matches!(
+            MpTone::try_from_units(440.0, Duration::from_millis(50), -3.0),
+            Err(MpToneError::IntensityOutOfRange(_))
+        ));
+        let ok = MpTone::try_from_units(440.0, Duration::from_millis(50), 60.0).unwrap();
+        assert_eq!(ok, MpTone::from_units(440.0, Duration::from_millis(50), 60.0));
+    }
+
+    #[test]
+    fn tone_errors_display_the_offending_value() {
+        let e = MpTone::try_from_units(440.0, Duration::from_secs(120), 60.0).unwrap_err();
+        assert!(e.to_string().contains("duration out of range"));
+        let e = MpTone::try_from_units(-5.0, Duration::ZERO, 60.0).unwrap_err();
+        assert!(e.to_string().contains("-5"));
     }
 }

@@ -64,7 +64,7 @@ fn main() {
         listener.push(captured.slice(fed, to));
         fed = to;
     }
-    let events = listener.finish();
+    let events = listener.finish().expect("listener worker healthy");
 
     // Collapse frame-level events into symbols, then bytes.
     let tones = collapse_events(&events, Duration::from_millis(56));

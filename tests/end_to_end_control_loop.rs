@@ -3,6 +3,7 @@
 //! and the resulting FlowMod — marshaled through the real OpenFlow wire
 //! format — changes what the switch forwards.
 
+use bytes::Bytes;
 use mdn_acoustics::{medium::Pos, mic::Microphone, scene::Scene};
 use mdn_core::controller::MdnController;
 use mdn_core::encoder::SoundingDevice;
@@ -146,4 +147,43 @@ fn flowmod_delete_closes_the_path_again() {
         after_open,
         "traffic leaked after delete"
     );
+}
+
+/// Garbage on the control channel is counted per direction and skipped;
+/// the valid FlowMod behind it still opens the path.
+#[test]
+fn malformed_control_frames_are_counted_and_do_not_block_valid_ones() {
+    let mut net = Network::new();
+    let topo = topology::line(&mut net, 10_000_000, Duration::from_micros(50));
+    net.attach_generator(
+        topo.h1,
+        TrafficPattern::Cbr {
+            flow: FlowKey::udp(Ip::v4(10, 0, 0, 1), 5000, Ip::v4(10, 0, 0, 2), 6000),
+            pps: 100.0,
+            size: 500,
+            start: Duration::ZERO,
+            stop: Duration::from_secs(1),
+        },
+    );
+    let mut chan = ControlChannel::new();
+    // Truncated garbage, then wrong-magic garbage, then a real FlowMod.
+    chan.inject_to_switch(Bytes::from_static(&[0x01, 0x02, 0x03]));
+    chan.inject_to_switch(Bytes::from_static(&[0xde, 0xad, 0xbe, 0xef, 0, 0, 0, 8]));
+    chan.send_to_switch(&OfMessage::FlowMod {
+        xid: 1,
+        command: FlowModCommand::Add,
+        priority: 10,
+        mat: Match::dst(Ip::v4(10, 0, 0, 2)),
+        action: Action::Forward(1),
+    });
+    assert_eq!(pump_to_switch(&mut chan, &mut net, topo.s1), 1);
+    assert_eq!(chan.malformed_to_switch, 2);
+    assert_eq!(chan.malformed_to_controller, 0);
+    net.drain();
+    assert_eq!(net.host(topo.h2).rx_packets, 100, "valid FlowMod still applied");
+
+    // The reverse direction counts independently.
+    chan.inject_to_controller(Bytes::from_static(&[0xff]));
+    assert!(matches!(chan.recv_at_controller(), Some(Err(_))));
+    assert_eq!(chan.malformed_to_controller, 1);
 }
