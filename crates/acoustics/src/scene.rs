@@ -27,6 +27,10 @@ pub struct Emission {
     pub label: String,
 }
 
+/// Samples-per-thread floor for parallel rendering: below this much output
+/// per worker, spawning threads costs more than the mixing saves.
+const MIN_SAMPLES_PER_THREAD: usize = 1 << 16;
+
 /// A collection of emissions over a shared timeline, with an ambient bed.
 #[derive(Debug, Clone)]
 pub struct Scene {
@@ -35,6 +39,7 @@ pub struct Scene {
     ambient: AmbientProfile,
     ambient_seed: u64,
     faults: Option<SceneFaultPlan>,
+    render_threads: usize,
 }
 
 impl Scene {
@@ -47,6 +52,7 @@ impl Scene {
             ambient,
             ambient_seed: 0,
             faults: None,
+            render_threads: 0,
         }
     }
 
@@ -58,6 +64,15 @@ impl Scene {
     /// Replace the ambient noise seed (defaults to 0).
     pub fn set_ambient_seed(&mut self, seed: u64) {
         self.ambient_seed = seed;
+    }
+
+    /// Worker threads for [`Scene::render_at`]: `0` (the default) sizes
+    /// from the machine's available parallelism, `1` forces sequential
+    /// rendering, `n` caps at `n`. The rendered samples are byte-identical
+    /// for every setting — workers own disjoint ranges of the output and
+    /// mix emissions into each range in emission order.
+    pub fn set_render_threads(&mut self, threads: usize) {
+        self.render_threads = threads;
     }
 
     /// Attach (or replace) an acoustic fault plan. Faults apply at render
@@ -119,17 +134,29 @@ impl Scene {
             .unwrap_or(Duration::ZERO)
     }
 
-    /// Render the pressure signal an ideal listener at `listener` would
-    /// observe over `[0, duration)`: all emissions attenuated by distance,
-    /// delayed by propagation, plus the ambient bed.
-    pub fn render_at(&self, listener: Pos, duration: Duration) -> Signal {
-        let mut out = self
-            .ambient
-            .render(duration, self.sample_rate, self.ambient_seed);
-        if out.is_empty() {
-            return out;
-        }
-        let total_len = out.len();
+    /// Worker threads for rendering `total_len` output samples.
+    fn render_workers(&self, total_len: usize) -> usize {
+        let requested = if self.render_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.render_threads
+        };
+        requested
+            .min(total_len.div_ceil(MIN_SAMPLES_PER_THREAD))
+            .max(1)
+    }
+
+    /// Mix every audible emission into `out` (whose length bounds the
+    /// render window), in parallel across disjoint output ranges.
+    ///
+    /// Each output sample accumulates its emissions in emission order with
+    /// the same per-sample arithmetic as `Signal::scaled` + `Signal::mix_at`
+    /// (`out[i] += (src as f64 * gain) as f32`), so the result is
+    /// byte-identical to the sequential path for any thread count.
+    fn mix_emissions(&self, listener: Pos, duration: Duration, out: &mut Signal) {
+        // Placement pass: distance gain and propagation-delayed offset for
+        // every emission that is audible inside the window.
+        let mut placed: Vec<(&Emission, f64, usize)> = Vec::new();
         for e in &self.emissions {
             if let Some(plan) = &self.faults {
                 // A dead speaker plays nothing for the whole emission.
@@ -144,9 +171,54 @@ impl Scene {
             if at >= duration {
                 continue;
             }
-            let attenuated = e.signal.scaled(gain);
-            out.mix_at_time(&attenuated, at);
+            placed.push((e, gain, duration_to_samples(at, self.sample_rate)));
         }
+        let total_len = out.len();
+        let threads = self.render_workers(total_len);
+        let mix_range = |range_start: usize, dst: &mut [f32]| {
+            let range_end = range_start + dst.len();
+            for &(e, gain, offset) in &placed {
+                let src = e.signal.samples();
+                let begin = offset.max(range_start);
+                let end = (offset + src.len()).min(range_end);
+                if begin >= end {
+                    continue;
+                }
+                let src = &src[begin - offset..end - offset];
+                let dst = &mut dst[begin - range_start..end - range_start];
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d += (s as f64 * gain) as f32;
+                }
+            }
+        };
+        if threads <= 1 {
+            mix_range(0, out.samples_mut());
+        } else {
+            let per = total_len.div_ceil(threads);
+            let mix_range = &mix_range;
+            std::thread::scope(|s| {
+                for (t, dst) in out.samples_mut().chunks_mut(per).enumerate() {
+                    s.spawn(move || mix_range(t * per, dst));
+                }
+            });
+        }
+    }
+
+    /// Render the pressure signal an ideal listener at `listener` would
+    /// observe over `[0, duration)`: all emissions attenuated by distance,
+    /// delayed by propagation, plus the ambient bed.
+    ///
+    /// Long renders are mixed in parallel ([`Scene::set_render_threads`]);
+    /// the output is byte-identical for any thread count.
+    pub fn render_at(&self, listener: Pos, duration: Duration) -> Signal {
+        let mut out = self
+            .ambient
+            .render(duration, self.sample_rate, self.ambient_seed);
+        if out.is_empty() {
+            return out;
+        }
+        let total_len = out.len();
+        self.mix_emissions(listener, duration, &mut out);
         if let Some(plan) = &self.faults {
             for (i, (win, level_db)) in plan.noise_bursts().iter().enumerate() {
                 if win.from >= duration {
@@ -377,6 +449,36 @@ mod tests {
         // Deterministic: same plan, same burst.
         let again = scene.render_at(Pos::ORIGIN, Duration::from_millis(600));
         assert_eq!(out.samples(), again.samples());
+    }
+
+    #[test]
+    fn parallel_render_is_byte_identical_to_sequential() {
+        // Several overlapping emissions at different distances (distinct
+        // gains and delays), long enough to clear the per-thread floor.
+        let mut scene = Scene::quiet(SR);
+        for i in 0..6 {
+            scene.add(
+                Pos::new(0.3 * (i + 1) as f64, 0.2, 0.0),
+                Duration::from_millis(150 * i as u64),
+                tone(500.0 + 120.0 * i as f64, 900, 60.0),
+                format!("sw-{i}"),
+            );
+        }
+        let listener = Pos::new(0.7, -0.4, 0.1);
+        let dur = Duration::from_secs(3);
+        let mut seq = scene.clone();
+        seq.set_render_threads(1);
+        let baseline = seq.render_at(listener, dur);
+        for threads in [0usize, 2, 3, 8] {
+            let mut par = scene.clone();
+            par.set_render_threads(threads);
+            let rendered = par.render_at(listener, dur);
+            assert_eq!(
+                rendered.samples(),
+                baseline.samples(),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

@@ -182,11 +182,16 @@ impl FftPlanner {
             n.is_power_of_two(),
             "FFT size must be a power of two, got {n}"
         );
-        if let Some(idx) = self.plans.iter().position(|p| p.n == n) {
-            return &self.plans[idx];
-        }
-        self.plans.push(Plan::new(n));
-        self.plans.last().unwrap()
+        // Plans are kept sorted by size so repeated lookups are a binary
+        // search, not a linear re-scan of every cached plan.
+        let idx = match self.plans.binary_search_by_key(&n, |p| p.n) {
+            Ok(idx) => idx,
+            Err(idx) => {
+                self.plans.insert(idx, Plan::new(n));
+                idx
+            }
+        };
+        &self.plans[idx]
     }
 
     /// Forward FFT in place. `buf.len()` must be a power of two.
@@ -209,13 +214,28 @@ impl FftPlanner {
     /// `min_size` if given). Returns the full complex spectrum of length
     /// `n`; bins `0..=n/2` are the non-redundant half.
     pub fn forward_real(&mut self, samples: &[f32], min_size: Option<usize>) -> Vec<Complex> {
+        let mut buf = Vec::new();
+        self.forward_real_into(samples, min_size, &mut buf);
+        buf
+    }
+
+    /// Like [`FftPlanner::forward_real`], but writes the spectrum into
+    /// `buf`, reusing its allocation. In a detector loop transforming one
+    /// frame after another, this makes the FFT path allocation-free after
+    /// the first call.
+    pub fn forward_real_into(
+        &mut self,
+        samples: &[f32],
+        min_size: Option<usize>,
+        buf: &mut Vec<Complex>,
+    ) {
         let n = next_pow2(samples.len().max(min_size.unwrap_or(1)));
-        let mut buf = vec![Complex::ZERO; n];
+        buf.clear();
+        buf.resize(n, Complex::ZERO);
         for (dst, &s) in buf.iter_mut().zip(samples) {
             dst.re = s as f64;
         }
-        self.forward(&mut buf);
-        buf
+        self.forward(buf);
     }
 }
 
@@ -379,6 +399,41 @@ mod tests {
             let a = spec[k];
             let b = spec[n - k].conj();
             assert!((a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn forward_real_into_reuses_buffer_and_matches() {
+        let mut planner = FftPlanner::new();
+        let samples: Vec<f32> = (0..300).map(|i| (i as f32 * 0.01).sin()).collect();
+        let fresh = planner.forward_real(&samples, Some(512));
+        let mut buf = Vec::new();
+        planner.forward_real_into(&samples, Some(512), &mut buf);
+        assert_eq!(buf, fresh);
+        let cap = buf.capacity();
+        // Second call with the same size must not reallocate.
+        planner.forward_real_into(&samples, Some(512), &mut buf);
+        assert_eq!(buf.capacity(), cap);
+        assert_eq!(buf, fresh);
+        // Shrinking to a smaller transform reuses the same allocation.
+        planner.forward_real_into(&samples[..100], Some(128), &mut buf);
+        assert_eq!(buf.len(), 128);
+        assert_eq!(buf.capacity(), cap);
+    }
+
+    #[test]
+    fn plan_cache_handles_interleaved_sizes() {
+        // Exercise the sorted-insert path: sizes arriving out of order must
+        // all resolve to correct transforms.
+        let mut planner = FftPlanner::new();
+        for n in [1024usize, 64, 4096, 256, 64, 1024, 16] {
+            let input: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.3).sin(), 0.0))
+                .collect();
+            let mut buf = input.clone();
+            planner.forward(&mut buf);
+            planner.inverse(&mut buf);
+            assert_close(&buf, &input, 1e-9);
         }
     }
 

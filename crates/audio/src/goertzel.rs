@@ -86,6 +86,121 @@ pub fn magnitudes_at(signal: &Signal, freqs_hz: &[f64]) -> Vec<f64> {
         .collect()
 }
 
+/// Reusable recurrence state for [`GoertzelBank`]; one per worker thread.
+///
+/// Holding the state outside the bank keeps the bank shareable (`&self`)
+/// across threads while the per-call scratch is reused allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct GoertzelState {
+    s1: Vec<f64>,
+    s2: Vec<f64>,
+}
+
+/// A bank of Goertzel filters evaluated in a single pass over the samples.
+///
+/// Probing C candidate frequencies with independent [`Goertzel`] filters
+/// walks the frame C times; the bank keeps all C recurrences live and walks
+/// the frame once, which is both cache-friendly (each sample is loaded once)
+/// and auto-vectorizable (the inner loop is a pure fused multiply-add over
+/// contiguous state arrays). Per candidate, the recurrence and the
+/// normalization are *identical* to [`Goertzel`], so the bank's magnitudes
+/// are bit-for-bit the same as the per-candidate path.
+///
+/// ```
+/// use mdn_audio::goertzel::{Goertzel, GoertzelBank};
+/// use mdn_audio::synth::Tone;
+/// use std::time::Duration;
+///
+/// let tone = Tone::new(700.0, Duration::from_millis(100), 0.4).render(44_100);
+/// let bank = GoertzelBank::new(&[500.0, 700.0], 44_100);
+/// let mags = bank.magnitudes(tone.samples());
+/// assert_eq!(mags[1], Goertzel::new(700.0, 44_100).magnitude(tone.samples()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GoertzelBank {
+    coeff: Vec<f64>,
+    sin_w: Vec<f64>,
+    cos_w: Vec<f64>,
+}
+
+impl GoertzelBank {
+    /// Build a bank for `freqs_hz` at `sample_rate`.
+    ///
+    /// # Panics
+    /// Panics if any frequency is not in `(0, sample_rate/2)`.
+    pub fn new(freqs_hz: &[f64], sample_rate: u32) -> Self {
+        let mut coeff = Vec::with_capacity(freqs_hz.len());
+        let mut sin_w = Vec::with_capacity(freqs_hz.len());
+        let mut cos_w = Vec::with_capacity(freqs_hz.len());
+        for &f in freqs_hz {
+            let g = Goertzel::new(f, sample_rate);
+            coeff.push(g.coeff);
+            sin_w.push(g.sin_w);
+            cos_w.push(g.cos_w);
+        }
+        Self {
+            coeff,
+            sin_w,
+            cos_w,
+        }
+    }
+
+    /// Number of candidate frequencies in the bank.
+    pub fn len(&self) -> usize {
+        self.coeff.len()
+    }
+
+    /// True if the bank holds no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.coeff.is_empty()
+    }
+
+    /// Normalized magnitudes of all candidates over `samples`, written into
+    /// `out` (one per candidate, bank order), reusing `state` so the hot
+    /// path allocates nothing.
+    ///
+    /// # Panics
+    /// Panics if `out.len()` differs from the bank size.
+    pub fn magnitudes_into(&self, samples: &[f32], state: &mut GoertzelState, out: &mut [f64]) {
+        let k = self.len();
+        assert_eq!(out.len(), k, "output slice must match bank size");
+        if samples.is_empty() {
+            out.fill(0.0);
+            return;
+        }
+        state.s1.clear();
+        state.s1.resize(k, 0.0);
+        state.s2.clear();
+        state.s2.resize(k, 0.0);
+        let (s1, s2) = (&mut state.s1[..], &mut state.s2[..]);
+        let coeff = &self.coeff[..];
+        // One traversal of the frame; all recurrences advance in lockstep.
+        for &x in samples {
+            let x = x as f64;
+            for c in 0..k {
+                let s = x + coeff[c] * s1[c] - s2[c];
+                s2[c] = s1[c];
+                s1[c] = s;
+            }
+        }
+        // Same expression shape as `Goertzel::magnitude` so the result is
+        // bit-identical to the per-candidate path.
+        let len = samples.len() as f64;
+        for c in 0..k {
+            let re = s1[c] * self.cos_w[c] - s2[c];
+            let im = s1[c] * self.sin_w[c];
+            out[c] = re.hypot(im) * 2.0 / len;
+        }
+    }
+
+    /// Convenience: allocate fresh state and an output vector.
+    pub fn magnitudes(&self, samples: &[f32]) -> Vec<f64> {
+        let mut out = vec![0.0; self.len()];
+        self.magnitudes_into(samples, &mut GoertzelState::default(), &mut out);
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +269,58 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn rejects_zero_frequency() {
         Goertzel::new(0.0, SR);
+    }
+
+    #[test]
+    fn bank_matches_individual_filters_exactly() {
+        // A busy buffer (two tones + DC-ish bias) so the recurrences carry
+        // non-trivial state; the bank must equal the per-candidate path to
+        // the last bit on every frequency.
+        let mut s = tone(500.0, 80, 0.5);
+        s.mix_at(&tone(740.0, 80, 0.3), 0);
+        let freqs = [440.0, 500.0, 720.0, 740.0, 1000.0];
+        let bank = GoertzelBank::new(&freqs, SR);
+        assert_eq!(bank.len(), freqs.len());
+        assert!(!bank.is_empty());
+        let got = bank.magnitudes(s.samples());
+        for (c, &f) in freqs.iter().enumerate() {
+            assert_eq!(got[c], Goertzel::new(f, SR).magnitude(s.samples()), "{f} Hz");
+        }
+    }
+
+    #[test]
+    fn bank_state_reuse_does_not_leak_between_calls() {
+        let loud = tone(700.0, 50, 0.8);
+        let quiet = tone(700.0, 50, 0.01);
+        let bank = GoertzelBank::new(&[700.0], SR);
+        let mut state = GoertzelState::default();
+        let mut out = [0.0f64];
+        bank.magnitudes_into(loud.samples(), &mut state, &mut out);
+        let first = out[0];
+        bank.magnitudes_into(quiet.samples(), &mut state, &mut out);
+        assert!(out[0] < first / 10.0, "stale state leaked: {}", out[0]);
+        bank.magnitudes_into(loud.samples(), &mut state, &mut out);
+        assert_eq!(out[0], first, "reused state must reproduce the result");
+    }
+
+    #[test]
+    fn bank_empty_samples_yield_zeros() {
+        let bank = GoertzelBank::new(&[500.0, 700.0], SR);
+        assert_eq!(bank.magnitudes(&[]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "match bank size")]
+    fn bank_rejects_mismatched_output_slice() {
+        let bank = GoertzelBank::new(&[500.0, 700.0], SR);
+        let mut out = [0.0f64; 3];
+        bank.magnitudes_into(&[0.0; 64], &mut GoertzelState::default(), &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn bank_rejects_frequency_above_nyquist() {
+        GoertzelBank::new(&[700.0, 30_000.0], SR);
     }
 
     #[test]

@@ -5,9 +5,38 @@
 //! find the spectral peaks, with quadratic interpolation so a tone between
 //! bins is still located to sub-bin accuracy.
 
-use crate::fft::FftPlanner;
+use crate::fft::{Complex, FftPlanner};
 use crate::signal::Signal;
 use crate::window::WindowKind;
+
+/// Reusable buffers for [`Spectrum::compute_into`]: the windowed frame, the
+/// complex FFT buffer, and the window coefficients (cached per
+/// kind × length, which a frame loop hits every time). One per worker
+/// thread; after the first frame the spectral hot path allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct SpectrumScratch {
+    frame: Vec<f32>,
+    fft: Vec<Complex>,
+    win: Vec<f64>,
+    win_gain: f64,
+    win_key: Option<(WindowKind, usize)>,
+}
+
+impl SpectrumScratch {
+    fn refresh_window(&mut self, kind: WindowKind, n: usize) {
+        if self.win_key != Some((kind, n)) {
+            self.win = kind.coefficients(n);
+            // Mean of the coefficients — identical arithmetic to
+            // `WindowKind::coherent_gain`.
+            self.win_gain = if n == 0 {
+                0.0
+            } else {
+                self.win.iter().sum::<f64>() / n as f64
+            };
+            self.win_key = Some((kind, n));
+        }
+    }
+}
 
 /// An amplitude spectrum: one magnitude per non-redundant FFT bin, with the
 /// metadata needed to map bins to Hz and magnitudes back to amplitudes.
@@ -19,6 +48,16 @@ pub struct Spectrum {
 }
 
 impl Spectrum {
+    /// An empty spectrum, as the reusable target for
+    /// [`Spectrum::compute_into`].
+    pub fn empty(sample_rate: u32) -> Self {
+        Self {
+            magnitudes: Vec::new(),
+            sample_rate,
+            fft_size: 1,
+        }
+    }
+
     /// Compute the spectrum of `signal` with the given window, zero-padding
     /// to the next power of two (at least `min_fft` if given). Magnitudes
     /// are normalized so a sinusoid of amplitude `a` centred on a bin reads
@@ -29,12 +68,54 @@ impl Spectrum {
         min_fft: Option<usize>,
         planner: &mut FftPlanner,
     ) -> Self {
-        let mut frame = signal.samples().to_vec();
-        window.apply(&mut frame);
-        let frame_len = frame.len();
-        let spec = planner.forward_real(&frame, min_fft);
-        let n = spec.len();
-        let gain = window.coherent_gain(frame_len.max(1));
+        let mut out = Spectrum::empty(signal.sample_rate());
+        Spectrum::compute_into(
+            signal.samples(),
+            signal.sample_rate(),
+            window,
+            min_fft,
+            planner,
+            &mut SpectrumScratch::default(),
+            &mut out,
+        );
+        out
+    }
+
+    /// Allocation-reusing spectrum computation over a raw sample slice.
+    ///
+    /// Identical numerics to [`Spectrum::compute`], but the windowed frame,
+    /// the FFT buffer, the window coefficients, and the output magnitudes
+    /// all live in `scratch`/`out` and are reused across calls — the shape
+    /// a frame-by-frame detector loop wants, with no per-frame `Signal`
+    /// clone and no per-frame allocation.
+    pub fn compute_into(
+        samples: &[f32],
+        sample_rate: u32,
+        window: WindowKind,
+        min_fft: Option<usize>,
+        planner: &mut FftPlanner,
+        scratch: &mut SpectrumScratch,
+        out: &mut Spectrum,
+    ) {
+        let frame_len = samples.len();
+        scratch.refresh_window(window, frame_len);
+        let SpectrumScratch {
+            frame,
+            fft,
+            win,
+            win_gain,
+            ..
+        } = &mut *scratch;
+        frame.clear();
+        frame.extend_from_slice(samples);
+        if window != WindowKind::Rectangular {
+            for (s, &w) in frame.iter_mut().zip(win.iter()) {
+                *s = (*s as f64 * w) as f32;
+            }
+        }
+        planner.forward_real_into(frame, min_fft, fft);
+        let n = fft.len();
+        let gain = *win_gain;
         // Amplitude normalization: 2/N_frame for a one-sided spectrum,
         // divided by the window's coherent gain.
         let scale = if frame_len == 0 || gain == 0.0 {
@@ -42,12 +123,11 @@ impl Spectrum {
         } else {
             2.0 / (frame_len as f64 * gain)
         };
-        let magnitudes = spec[..n / 2 + 1].iter().map(|c| c.norm() * scale).collect();
-        Self {
-            magnitudes,
-            sample_rate: signal.sample_rate(),
-            fft_size: n,
-        }
+        out.magnitudes.clear();
+        out.magnitudes
+            .extend(fft[..n / 2 + 1].iter().map(|c| c.norm() * scale));
+        out.sample_rate = sample_rate;
+        out.fft_size = n;
     }
 
     /// Convenience: Hann window, default padding, fresh planner.

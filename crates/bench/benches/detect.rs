@@ -1,0 +1,238 @@
+//! Detection hot-path benchmarks (the paper's Figure 2b, scaled up).
+//!
+//! The control loop's latency budget is dominated by `ToneDetector::detect`
+//! over the most recent capture, so this bench sweeps the axes that matter
+//! in deployment: candidate count (1–16), capture length (1 s–60 s),
+//! Goertzel vs FFT path, and 1 vs N worker threads. Criterion covers the
+//! short captures with tight statistics; a manual best-of-R sweep covers
+//! the long ones and writes a machine-readable summary to
+//! `BENCH_detect.json` at the workspace root, including the speedup of the
+//! banked parallel path over the old per-candidate sequential scan on the
+//! 16-candidate 10 s capture.
+//!
+//! `cargo bench -p mdn-bench --bench detect -- --test` runs one smoke
+//! iteration of everything and skips the JSON (CI uses this).
+
+use criterion::{BenchmarkId, Criterion};
+use mdn_audio::goertzel::{Goertzel, GoertzelBank};
+use mdn_audio::noise::white_noise;
+use mdn_audio::signal::duration_to_samples;
+use mdn_audio::synth::Tone;
+use mdn_audio::Signal;
+use mdn_core::detector::{DetectorConfig, ToneDetector};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const SR: u32 = 44_100;
+
+fn candidate_freqs(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 600.0 + 60.0 * i as f64).collect()
+}
+
+/// A busy capture: tones hopping across the candidate set every 200 ms over
+/// a light noise bed — the steady-state signal a loaded rack produces.
+fn capture(duration: Duration, candidates: &[f64]) -> Signal {
+    let mut sig = white_noise(duration, 0.004, SR, 17);
+    let tone_len = Duration::from_millis(100);
+    let mut at = Duration::ZERO;
+    let mut slot = 0usize;
+    while at + tone_len < duration {
+        let tone = Tone::new(candidates[slot % candidates.len()], tone_len, 0.1).render(SR);
+        sig.mix_at(&tone, duration_to_samples(at, SR));
+        at += Duration::from_millis(200);
+        slot += 1;
+    }
+    sig
+}
+
+fn detector(candidates: &[f64], threads: usize) -> ToneDetector {
+    ToneDetector::with_config(
+        candidates.to_vec(),
+        DetectorConfig {
+            threads,
+            ..DetectorConfig::default()
+        },
+    )
+}
+
+/// The pre-bank hot path, kept as the speedup reference: one independent
+/// Goertzel pass per candidate per complete frame (partial tail frames were
+/// dropped), sequential.
+fn old_per_candidate_scan(sig: &Signal, candidates: &[f64]) -> Vec<f64> {
+    let frame = duration_to_samples(Duration::from_millis(50), SR).max(1);
+    let hop = duration_to_samples(Duration::from_millis(25), SR).max(1);
+    let samples = sig.samples();
+    let filters: Vec<Goertzel> = candidates.iter().map(|&f| Goertzel::new(f, SR)).collect();
+    let mut mags = Vec::new();
+    let mut start = 0;
+    while start + frame <= samples.len() {
+        let window = &samples[start..start + frame];
+        for g in &filters {
+            mags.push(g.magnitude(window));
+        }
+        start += hop;
+    }
+    mags
+}
+
+/// Sanity for the speedup claim: the bank reproduces the per-candidate scan
+/// bit for bit on complete frames, and the parallel detector reproduces the
+/// sequential one exactly.
+fn assert_paths_agree(sig: &Signal, candidates: &[f64]) {
+    let old = old_per_candidate_scan(sig, candidates);
+    let bank = GoertzelBank::new(candidates, SR);
+    let frame = duration_to_samples(Duration::from_millis(50), SR).max(1);
+    let hop = duration_to_samples(Duration::from_millis(25), SR).max(1);
+    let samples = sig.samples();
+    let mut start = 0;
+    let mut fi = 0;
+    while start + frame <= samples.len() {
+        let got = bank.magnitudes(&samples[start..start + frame]);
+        assert_eq!(
+            &old[fi * candidates.len()..(fi + 1) * candidates.len()],
+            &got[..],
+            "bank diverged from per-candidate scan at frame {fi}"
+        );
+        start += hop;
+        fi += 1;
+    }
+    let seq = detector(candidates, 1).detect(sig);
+    let par = detector(candidates, 0).detect(sig);
+    assert_eq!(seq, par, "parallel detect diverged from sequential");
+    let seq = detector(candidates, 1).detect_fft(sig, 10.0);
+    let par = detector(candidates, 0).detect_fft(sig, 10.0);
+    assert_eq!(seq, par, "parallel detect_fft diverged from sequential");
+}
+
+fn criterion_benches(c: &mut Criterion) {
+    // Short-capture statistics: 1 s, across candidate counts × paths ×
+    // thread counts.
+    let mut group = c.benchmark_group("detect/1s");
+    group.sample_size(10);
+    for &n in &[1usize, 4, 16] {
+        let candidates = candidate_freqs(n);
+        let sig = capture(Duration::from_secs(1), &candidates);
+        for &threads in &[1usize, 0] {
+            let label = if threads == 1 { "t1" } else { "tN" };
+            let det = detector(&candidates, threads);
+            group.bench_with_input(
+                BenchmarkId::new(format!("goertzel/{label}"), n),
+                &sig,
+                |b, sig| b.iter(|| black_box(det.detect(black_box(sig)))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("fft/{label}"), n),
+                &sig,
+                |b, sig| b.iter(|| black_box(det.detect_fft(black_box(sig), 10.0))),
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new("goertzel/old_per_candidate", n),
+            &sig,
+            |b, sig| b.iter(|| black_box(old_per_candidate_scan(black_box(sig), &candidates))),
+        );
+    }
+    group.finish();
+}
+
+#[derive(serde::Serialize)]
+struct SweepRow {
+    path: &'static str,
+    candidates: usize,
+    capture_s: u64,
+    threads: usize,
+    millis: f64,
+}
+
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// The long-capture sweep (manual timing; criterion's statistics are
+/// overkill at seconds per iteration) and the JSON summary.
+fn sweep_and_report(smoke: bool) {
+    let reps = if smoke { 1 } else { 3 };
+    let durations: &[u64] = if smoke { &[1] } else { &[1, 10, 60] };
+    let mut rows: Vec<SweepRow> = Vec::new();
+    let mut speedup_16c_10s = None;
+    for &secs in durations {
+        for &n in &[1usize, 4, 16] {
+            let candidates = candidate_freqs(n);
+            let sig = capture(Duration::from_secs(secs), &candidates);
+            if secs == durations[0] {
+                assert_paths_agree(&sig, &candidates);
+            }
+            let old_ms = best_of(reps, || {
+                black_box(old_per_candidate_scan(black_box(&sig), &candidates));
+            });
+            rows.push(SweepRow {
+                path: "goertzel_old_per_candidate",
+                candidates: n,
+                capture_s: secs,
+                threads: 1,
+                millis: old_ms,
+            });
+            for &threads in &[1usize, 0] {
+                let det = detector(&candidates, threads);
+                let new_ms = best_of(reps, || {
+                    black_box(det.detect(black_box(&sig)));
+                });
+                rows.push(SweepRow {
+                    path: "goertzel_bank",
+                    candidates: n,
+                    capture_s: secs,
+                    threads,
+                    millis: new_ms,
+                });
+                if n == 16 && secs == 10 && threads == 0 {
+                    speedup_16c_10s = Some(old_ms / new_ms);
+                }
+                let fft_ms = best_of(reps, || {
+                    black_box(det.detect_fft(black_box(&sig), 10.0));
+                });
+                rows.push(SweepRow {
+                    path: "fft",
+                    candidates: n,
+                    capture_s: secs,
+                    threads,
+                    millis: fft_ms,
+                });
+            }
+        }
+    }
+    if smoke {
+        eprintln!("detect sweep smoke: {} rows timed, paths agree", rows.len());
+        return;
+    }
+    let summary = serde_json::json!({
+        "bench": "detect",
+        "unit": "milliseconds (best of 3)",
+        "host_parallelism": std::thread::available_parallelism().map_or(1, |n| n.get()),
+        "sample_rate": SR,
+        "frame_ms": 50,
+        "hop_ms": 25,
+        "speedup_old_vs_bank_parallel_16c_10s": speedup_16c_10s,
+        "rows": rows,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_detect.json");
+    std::fs::write(path, serde_json::to_string_pretty(&summary).unwrap() + "\n")
+        .expect("write BENCH_detect.json");
+    if let Some(s) = speedup_16c_10s {
+        eprintln!("detect: old/new speedup on 16 candidates × 10 s = {s:.2}×");
+    }
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let mut c = Criterion::default().configure_from_args();
+    criterion_benches(&mut c);
+    c.final_summary();
+    sweep_and_report(smoke);
+}

@@ -98,6 +98,14 @@ impl MdnController {
         self.rebuild();
     }
 
+    /// Set the detector's worker-thread count (`0` = size from the
+    /// machine, `1` = sequential). Decoded events are identical for any
+    /// setting; only latency changes.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.threads = threads;
+        self.rebuild();
+    }
+
     /// Register a device's frequency set.
     pub fn bind_device(&mut self, device: impl Into<String>, set: FrequencySet) {
         self.bindings.push(DeviceBinding {

@@ -2,20 +2,38 @@
 //!
 //! The listening half of every MDN application. The detector slices a
 //! captured signal into ~50 ms frames (the paper's analysis window), probes
-//! each candidate frequency with a Goertzel filter — cheap when the
+//! each candidate frequency with a Goertzel filter bank — cheap when the
 //! frequency map is known, which in MDN it always is — and reports tone
 //! observations above a noise-calibrated threshold. An FFT-peak path is
 //! provided too; the `claims` bench compares the two.
+//!
+//! # Hot path
+//!
+//! Detection latency is the MDN control-loop budget (the paper's Figure 2b
+//! benchmarks exactly this), so the per-frame path is tight:
+//!
+//! * all candidates are evaluated in **one pass** over each frame by a
+//!   [`GoertzelBank`] (one traversal instead of one per candidate);
+//! * frames are analyzed **in parallel** across worker threads
+//!   ([`DetectorConfig::threads`]); every frame's magnitudes land in a
+//!   pre-sized slot of a shared matrix, so the result is byte-identical
+//!   for any thread count;
+//! * the steady-state loop performs **no allocation** — recurrence state,
+//!   FFT buffers, and the tail-frame scratch are all reused.
 
-use mdn_audio::goertzel::Goertzel;
+use mdn_audio::goertzel::{GoertzelBank, GoertzelState};
 use mdn_audio::signal::duration_to_samples;
-use mdn_audio::spectral::Spectrum;
+use mdn_audio::spectral::{Spectrum, SpectrumScratch};
 use mdn_audio::Signal;
 use std::collections::BTreeSet;
 use std::time::Duration;
 
+/// Frames-per-thread floor: below this much work per worker, thread spawn
+/// overhead outweighs the parallel win and detection stays single-threaded.
+const MIN_FRAMES_PER_THREAD: usize = 16;
+
 /// Detection parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DetectorConfig {
     /// Analysis frame length (the paper: ≈ 50 ms).
     pub frame: Duration,
@@ -34,8 +52,16 @@ pub struct DetectorConfig {
     /// Local-maximum suppression radius: a candidate is dropped if another
     /// candidate within this many Hz measures stronger in the same frame
     /// (a real tone always out-measures its own leakage into neighbouring
-    /// 20 Hz slots). Set to 0.0 to disable.
+    /// 20 Hz slots). Ties break toward the lower candidate index, so
+    /// exactly one of two equal-magnitude neighbours fires. Set to 0.0 to
+    /// disable.
     pub local_max_radius_hz: f64,
+    /// Worker threads for frame analysis: `0` sizes from the machine's
+    /// available parallelism, `1` forces the sequential path, `n` caps at
+    /// `n`. Results are byte-identical for every setting — each frame's
+    /// magnitudes are written to a pre-assigned slot, and the
+    /// suppression/thresholding pass is always sequential.
+    pub threads: usize,
 }
 
 impl Default for DetectorConfig {
@@ -47,6 +73,7 @@ impl Default for DetectorConfig {
             min_snr: 3.0,
             frame_rel_floor: 0.25,
             local_max_radius_hz: 50.0,
+            threads: 0,
         }
     }
 }
@@ -62,6 +89,44 @@ pub struct ToneObservation {
     pub candidate: usize,
     /// Measured magnitude (linear amplitude).
     pub magnitude: f64,
+}
+
+/// The frame tiling of one capture: all hop-aligned frames whose start lies
+/// inside the signal. Frames that would run past the end — the capture's
+/// tail — are analyzed zero-padded to the full frame length, so a tone
+/// confined to the last few tens of milliseconds (the paper's minimum tone
+/// is 30 ms) is still observed.
+#[derive(Debug, Clone, Copy)]
+struct FrameGrid {
+    frame_len: usize,
+    hop: usize,
+    n_frames: usize,
+    sample_rate: u32,
+}
+
+impl FrameGrid {
+    fn start(&self, fi: usize) -> usize {
+        fi * self.hop
+    }
+
+    fn time(&self, fi: usize) -> Duration {
+        Duration::from_secs_f64(self.start(fi) as f64 / self.sample_rate as f64)
+    }
+
+    /// The samples of frame `fi`: a borrow of the signal for complete
+    /// frames, or `scratch` refilled with the zero-padded tail.
+    fn frame<'a>(&self, samples: &'a [f32], fi: usize, scratch: &'a mut Vec<f32>) -> &'a [f32] {
+        let start = self.start(fi);
+        if start + self.frame_len <= samples.len() {
+            &samples[start..start + self.frame_len]
+        } else {
+            let tail = &samples[start..];
+            scratch.clear();
+            scratch.resize(self.frame_len, 0.0);
+            scratch[..tail.len()].copy_from_slice(tail);
+            scratch
+        }
+    }
 }
 
 /// A multi-frequency tone detector.
@@ -117,14 +182,12 @@ impl ToneDetector {
     /// candidate's floor becomes its maximum magnitude over the sample's
     /// frames.
     pub fn calibrate(&mut self, noise_only: &Signal) {
-        let frames = self.frames(noise_only);
+        let (grid, mags) = self.frame_magnitudes(noise_only);
+        let k = self.candidates.len();
         for (c, floor) in self.noise_floor.iter_mut().enumerate() {
-            let g = Goertzel::new(self.candidates[c], noise_only.sample_rate());
-            let max = frames
-                .iter()
-                .map(|(_, s)| g.magnitude(s))
+            *floor = (0..grid.n_frames)
+                .map(|fi| mags[fi * k + c])
                 .fold(0.0f64, f64::max);
-            *floor = max;
         }
     }
 
@@ -133,19 +196,63 @@ impl ToneDetector {
         &self.noise_floor
     }
 
-    fn frames<'a>(&self, signal: &'a Signal) -> Vec<(Duration, &'a [f32])> {
-        let sr = signal.sample_rate();
-        let frame_len = duration_to_samples(self.config.frame, sr).max(1);
-        let hop = duration_to_samples(self.config.hop, sr).max(1);
-        let samples = signal.samples();
-        let mut out = Vec::new();
-        let mut start = 0usize;
-        while start + frame_len <= samples.len() {
-            let t = Duration::from_secs_f64(start as f64 / sr as f64);
-            out.push((t, &samples[start..start + frame_len]));
-            start += hop;
+    fn grid(&self, samples_len: usize, sample_rate: u32) -> FrameGrid {
+        let frame_len = duration_to_samples(self.config.frame, sample_rate).max(1);
+        let hop = duration_to_samples(self.config.hop, sample_rate).max(1);
+        let n_frames = if samples_len == 0 {
+            0
+        } else {
+            (samples_len - 1) / hop + 1
+        };
+        FrameGrid {
+            frame_len,
+            hop,
+            n_frames,
+            sample_rate,
         }
-        out
+    }
+
+    /// Worker threads to use for `n_frames` of work.
+    fn worker_threads(&self, n_frames: usize) -> usize {
+        let requested = if self.config.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.config.threads
+        };
+        requested.min(n_frames.div_ceil(MIN_FRAMES_PER_THREAD)).max(1)
+    }
+
+    /// The magnitude matrix (`n_frames × candidates`, row-major) for every
+    /// frame of `signal`, computed by the Goertzel bank — in parallel when
+    /// the capture is long enough. Deterministic for any thread count.
+    fn frame_magnitudes(&self, signal: &Signal) -> (FrameGrid, Vec<f64>) {
+        let sr = signal.sample_rate();
+        let samples = signal.samples();
+        let grid = self.grid(samples.len(), sr);
+        let k = self.candidates.len();
+        let bank = GoertzelBank::new(&self.candidates, sr);
+        let mut mags = vec![0.0f64; grid.n_frames * k];
+        let threads = self.worker_threads(grid.n_frames);
+        let run = |first_frame: usize, rows: &mut [f64]| {
+            let mut state = GoertzelState::default();
+            let mut tail = Vec::new();
+            for (i, row) in rows.chunks_mut(k).enumerate() {
+                let frame = grid.frame(samples, first_frame + i, &mut tail);
+                bank.magnitudes_into(frame, &mut state, row);
+            }
+        };
+        if threads <= 1 {
+            run(0, &mut mags);
+        } else {
+            let per = grid.n_frames.div_ceil(threads);
+            let run = &run;
+            std::thread::scope(|s| {
+                for (t, rows) in mags.chunks_mut(per * k).enumerate() {
+                    s.spawn(move || run(t * per, rows));
+                }
+            });
+        }
+        (grid, mags)
     }
 
     /// Goertzel detection: probe every candidate in every frame.
@@ -154,47 +261,45 @@ impl ToneDetector {
     /// pipeline reads FFT *peaks* rather than raw bin energies:
     /// * a candidate must be a local maximum among the frequency-sorted
     ///   candidates (a real tone always out-measures its own leakage into
-    ///   the neighbouring 20 Hz slots);
+    ///   the neighbouring 20 Hz slots); equal magnitudes break toward the
+    ///   lower candidate index so one tone is never double-reported;
     /// * a candidate must reach [`DetectorConfig::frame_rel_floor`] of the
     ///   frame's strongest candidate (suppresses far sidelobes of loud
     ///   tones in partially-occupied frames).
     pub fn detect(&self, signal: &Signal) -> Vec<ToneObservation> {
-        let sr = signal.sample_rate();
-        let detectors: Vec<Goertzel> = self
-            .candidates
-            .iter()
-            .map(|&f| Goertzel::new(f, sr))
-            .collect();
+        let (grid, all_mags) = self.frame_magnitudes(signal);
+        let k = self.candidates.len();
         // Candidate indices sorted by frequency, for local-max testing.
-        let mut order: Vec<usize> = (0..self.candidates.len()).collect();
+        let mut order: Vec<usize> = (0..k).collect();
         order.sort_by(|&a, &b| self.candidates[a].total_cmp(&self.candidates[b]));
         let mut rank = vec![0usize; order.len()];
         for (p, &c) in order.iter().enumerate() {
             rank[c] = p;
         }
-        let frames = self.frames(signal);
-        // Magnitude matrix and per-frame maxima, computed up front so the
-        // relative gate can look at a frame's neighbours: a tone's onset
-        // and tail splatter energy into one boundary frame, and gating that
-        // frame against the adjacent full-tone frame suppresses the ghosts.
-        let all_mags: Vec<Vec<f64>> = frames
-            .iter()
-            .map(|(_, frame)| detectors.iter().map(|g| g.magnitude(frame)).collect())
-            .collect();
+        // Per-frame maxima, computed up front so the relative gate can look
+        // at a frame's neighbours: a tone's onset and tail splatter energy
+        // into one boundary frame, and gating that frame against the
+        // adjacent full-tone frame suppresses the ghosts.
         let frame_maxes: Vec<f64> = all_mags
-            .iter()
+            .chunks(k.max(1))
             .map(|mags| mags.iter().cloned().fold(0.0, f64::max))
             .collect();
         let mut out = Vec::new();
-        for (fi, &(time, _)) in frames.iter().enumerate() {
-            let mags = &all_mags[fi];
-            let neighborhood_max = frame_maxes[fi.saturating_sub(1)..(fi + 2).min(frames.len())]
+        for fi in 0..grid.n_frames {
+            let mags = &all_mags[fi * k..(fi + 1) * k];
+            let time = grid.time(fi);
+            let neighborhood_max = frame_maxes[fi.saturating_sub(1)..(fi + 2).min(grid.n_frames)]
                 .iter()
                 .cloned()
                 .fold(0.0, f64::max);
             let rel_gate = neighborhood_max * self.config.frame_rel_floor;
             for (c, &magnitude) in mags.iter().enumerate() {
                 // Local-max test against every candidate within the radius.
+                // `beats` breaks exact ties toward the lower candidate
+                // index, so equal-magnitude neighbours yield one report.
+                let beats = |other: usize| {
+                    mags[other] > magnitude || (mags[other] == magnitude && other < c)
+                };
                 let p = rank[c];
                 let f = self.candidates[c];
                 let radius = self.config.local_max_radius_hz;
@@ -204,7 +309,7 @@ impl ToneDetector {
                     if (f - self.candidates[other]).abs() > radius {
                         break;
                     }
-                    if mags[other] > magnitude {
+                    if beats(other) {
                         is_local_max = false;
                         break;
                     }
@@ -213,7 +318,7 @@ impl ToneDetector {
                     if !is_local_max || (self.candidates[other] - f).abs() > radius {
                         break;
                     }
-                    if mags[other] > magnitude {
+                    if beats(other) {
                         is_local_max = false;
                     }
                 }
@@ -234,38 +339,67 @@ impl ToneDetector {
     /// match them to candidates within `tolerance_hz`. Slower per frame
     /// when the candidate list is short, but finds everything at once —
     /// this is the paper's Figure 2a pipeline.
+    ///
+    /// Frames are transformed in parallel ([`DetectorConfig::threads`]);
+    /// each worker reuses one planner, one scratch, and one spectrum, so
+    /// the steady-state loop clones no frames and allocates nothing. The
+    /// observation order is frame-major, identical to the sequential path.
     pub fn detect_fft(&self, signal: &Signal, tolerance_hz: f64) -> Vec<ToneObservation> {
-        let mut planner = mdn_audio::fft::FftPlanner::new();
-        let mut out = Vec::new();
-        for (time, frame) in self.frames(signal) {
-            let frame_sig = Signal::from_samples(frame.to_vec(), signal.sample_rate());
-            let spec = Spectrum::compute(
-                &frame_sig,
-                mdn_audio::window::WindowKind::Hann,
-                Some(4096),
-                &mut planner,
-            );
-            let peaks = spec.peaks(self.config.min_magnitude, tolerance_hz.max(1.0));
-            for peak in peaks {
-                let nearest = self
-                    .candidates
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &f)| (i, (f - peak.freq_hz).abs()))
-                    .min_by(|a, b| a.1.total_cmp(&b.1));
-                if let Some((c, dist)) = nearest {
-                    if dist <= tolerance_hz && self.passes(c, peak.magnitude) {
-                        out.push(ToneObservation {
-                            time,
-                            freq_hz: self.candidates[c],
-                            candidate: c,
-                            magnitude: peak.magnitude,
-                        });
+        let sr = signal.sample_rate();
+        let samples = signal.samples();
+        let grid = self.grid(samples.len(), sr);
+        let mut per_frame: Vec<Vec<ToneObservation>> = vec![Vec::new(); grid.n_frames];
+        let threads = self.worker_threads(grid.n_frames);
+        let run = |first_frame: usize, slots: &mut [Vec<ToneObservation>]| {
+            let mut planner = mdn_audio::fft::FftPlanner::new();
+            let mut scratch = SpectrumScratch::default();
+            let mut spec = Spectrum::empty(sr);
+            let mut tail = Vec::new();
+            for (i, slot) in slots.iter_mut().enumerate() {
+                let fi = first_frame + i;
+                let frame = grid.frame(samples, fi, &mut tail);
+                Spectrum::compute_into(
+                    frame,
+                    sr,
+                    mdn_audio::window::WindowKind::Hann,
+                    Some(4096),
+                    &mut planner,
+                    &mut scratch,
+                    &mut spec,
+                );
+                let peaks = spec.peaks(self.config.min_magnitude, tolerance_hz.max(1.0));
+                for peak in peaks {
+                    let nearest = self
+                        .candidates
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &f)| (i, (f - peak.freq_hz).abs()))
+                        .min_by(|a, b| a.1.total_cmp(&b.1));
+                    if let Some((c, dist)) = nearest {
+                        if dist <= tolerance_hz && self.passes(c, peak.magnitude) {
+                            slot.push(ToneObservation {
+                                time: grid.time(fi),
+                                freq_hz: self.candidates[c],
+                                candidate: c,
+                                magnitude: peak.magnitude,
+                            });
+                        }
                     }
                 }
             }
+        };
+        if threads <= 1 {
+            run(0, &mut per_frame);
+        } else {
+            let per = grid.n_frames.div_ceil(threads);
+            let run = &run;
+            std::thread::scope(|s| {
+                for (t, slots) in per_frame.chunks_mut(per).enumerate() {
+                    s.spawn(move || run(t * per, slots));
+                }
+            });
         }
-        out
+        per_frame.into_iter().flatten().collect()
     }
 
     fn passes(&self, candidate: usize, magnitude: f64) -> bool {
@@ -285,6 +419,7 @@ impl ToneDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mdn_audio::goertzel::Goertzel;
     use mdn_audio::noise::white_noise;
     use mdn_audio::signal::spl_to_amplitude;
     use mdn_audio::synth::{render_sequence, Tone};
@@ -400,10 +535,62 @@ mod tests {
     }
 
     #[test]
-    fn too_short_signal_yields_no_frames() {
+    fn sub_frame_signal_still_analyzed() {
+        // Shorter than one 50 ms frame: the zero-padded tail frame must
+        // still be probed (the paper's minimum tone is 30 ms). Silence
+        // stays silent; a tone is found.
         let sig = Signal::silence(Duration::from_millis(10), SR);
         let det = ToneDetector::new(vec![500.0]);
         assert!(det.detect(&sig).is_empty());
+        let tone = Tone::new(500.0, Duration::from_millis(30), 0.1).render(SR);
+        let obs = det.detect(&tone);
+        assert!(!obs.is_empty(), "30 ms capture must be detectable");
+        assert!(obs.iter().all(|o| o.candidate == 0));
+    }
+
+    #[test]
+    fn tone_at_very_end_of_capture_is_detected() {
+        // Regression: the final partial frame used to be dropped, so a tone
+        // confined to the capture's tail went unobserved. 490 ms capture
+        // (not hop-aligned), 30 ms tone ending exactly at the end.
+        let seq = [tone_at(700.0, 460, 30, 0.1)];
+        let mut sig = render_sequence(&seq, SR);
+        sig.pad_to(duration_to_samples(Duration::from_millis(490), SR));
+        let det = ToneDetector::new(vec![500.0, 700.0]);
+        let obs = det.detect(&sig);
+        assert!(!obs.is_empty(), "tail tone must be detected");
+        assert!(obs.iter().all(|o| o.candidate == 1));
+        // At least one observation must come from a zero-padded tail frame
+        // (start beyond the last complete-frame start, 440 ms).
+        let last = obs.iter().map(|o| o.time).max().unwrap();
+        assert!(
+            last >= Duration::from_millis(450),
+            "no tail-frame observation; last was {last:?}"
+        );
+        // The FFT path sees the tail too.
+        let fft = det.detect_fft(&sig, 10.0);
+        assert!(fft.iter().any(|o| o.candidate == 1));
+    }
+
+    #[test]
+    fn equal_magnitude_neighbours_report_once() {
+        // Two candidates at the same frequency measure bit-identical
+        // magnitudes in every frame; the local-max tie-break must keep
+        // exactly one (the lower index), not double-report the tone.
+        let seq = [tone_at(700.0, 0, 200, 0.1)];
+        let sig = render_sequence(&seq, SR);
+        let det = ToneDetector::new(vec![700.0, 700.0]);
+        let obs = det.detect(&sig);
+        assert!(!obs.is_empty());
+        assert!(
+            obs.iter().all(|o| o.candidate == 0),
+            "tie must break to the lower index: {obs:?}"
+        );
+        // No frame reports both.
+        let mut times = BTreeSet::new();
+        for o in &obs {
+            assert!(times.insert(o.time), "frame {:?} double-reported", o.time);
+        }
     }
 
     #[test]
@@ -421,5 +608,110 @@ mod tests {
         // Middle frames see the full tone.
         let max = obs.iter().map(|o| o.magnitude).fold(0.0, f64::max);
         assert!((max - 0.2).abs() < 0.04, "max magnitude {max}");
+    }
+
+    fn busy_capture() -> Signal {
+        let seq = [
+            tone_at(600.0, 0, 300, 0.08),
+            tone_at(900.0, 100, 300, 0.08),
+            tone_at(1300.0, 450, 200, 0.06),
+            tone_at(700.0, 900, 80, 0.1),
+        ];
+        let mut sig = render_sequence(&seq, SR);
+        sig.mix_at(&white_noise(sig.duration(), 0.003, SR, 11), 0);
+        sig
+    }
+
+    #[test]
+    fn parallel_detect_is_byte_identical_to_sequential() {
+        let sig = busy_capture();
+        let candidates = vec![600.0, 700.0, 900.0, 1300.0, 1700.0];
+        let seq_det = ToneDetector::with_config(
+            candidates.clone(),
+            DetectorConfig {
+                threads: 1,
+                ..DetectorConfig::default()
+            },
+        );
+        let baseline = seq_det.detect(&sig);
+        assert!(!baseline.is_empty());
+        for threads in [0, 2, 3, 8] {
+            let par_det = ToneDetector::with_config(
+                candidates.clone(),
+                DetectorConfig {
+                    threads,
+                    ..DetectorConfig::default()
+                },
+            );
+            // PartialEq on ToneObservation compares f64 magnitudes exactly:
+            // this asserts byte-identical output, not approximate equality.
+            assert_eq!(par_det.detect(&sig), baseline, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_detect_fft_is_byte_identical_to_sequential() {
+        let sig = busy_capture();
+        let candidates = vec![600.0, 700.0, 900.0, 1300.0];
+        let seq_det = ToneDetector::with_config(
+            candidates.clone(),
+            DetectorConfig {
+                threads: 1,
+                ..DetectorConfig::default()
+            },
+        );
+        let baseline = seq_det.detect_fft(&sig, 10.0);
+        assert!(!baseline.is_empty());
+        for threads in [0, 2, 5] {
+            let par_det = ToneDetector::with_config(
+                candidates.clone(),
+                DetectorConfig {
+                    threads,
+                    ..DetectorConfig::default()
+                },
+            );
+            assert_eq!(par_det.detect_fft(&sig, 10.0), baseline, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn bank_matches_per_candidate_goertzel_bit_for_bit() {
+        // The banked one-pass evaluation must reproduce the per-candidate
+        // Goertzel pass exactly, frame by frame.
+        let sig = busy_capture();
+        let candidates = [600.0f64, 700.0, 900.0, 1300.0, 1700.0];
+        let det = ToneDetector::new(candidates.to_vec());
+        let (grid, mags) = det.frame_magnitudes(&sig);
+        assert!(grid.n_frames > 0);
+        let mut tail = Vec::new();
+        for fi in 0..grid.n_frames {
+            let frame = grid.frame(sig.samples(), fi, &mut tail);
+            for (c, &f) in candidates.iter().enumerate() {
+                let expect = Goertzel::new(f, SR).magnitude(frame);
+                assert_eq!(
+                    mags[fi * candidates.len() + c],
+                    expect,
+                    "frame {fi} candidate {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_floor_unaffected_by_thread_count() {
+        let noise = white_noise(Duration::from_secs(2), spl_to_amplitude(65.0), SR, 9);
+        let mut floors = Vec::new();
+        for threads in [1usize, 4] {
+            let mut det = ToneDetector::with_config(
+                vec![600.0, 800.0, 1000.0],
+                DetectorConfig {
+                    threads,
+                    ..DetectorConfig::default()
+                },
+            );
+            det.calibrate(&noise);
+            floors.push(det.noise_floor().to_vec());
+        }
+        assert_eq!(floors[0], floors[1]);
     }
 }

@@ -139,7 +139,7 @@ impl LiveListener {
             for obs in detector.detect(&carry) {
                 let frame_abs =
                     carry_start + (obs.time.as_secs_f64() * sample_rate as f64).round() as u64;
-                if !decided_until.is_some_and(|w| frame_abs <= w) {
+                if decided_until.is_none_or(|w| frame_abs > w) {
                     emit(&sink, &device, carry_start, &obs);
                 }
             }
@@ -179,10 +179,21 @@ impl LiveListener {
             self.sample_rate,
             "chunk sample rate mismatch"
         );
-        self.samples_sent += chunk.len() as u64;
+        let len = chunk.len() as u64;
         // A send error means the worker hung up (panicked); swallow it
-        // here — finish() reports the panic properly.
-        let _ = self.tx.as_ref().expect("push after finish").send(chunk);
+        // here — finish() reports the panic properly. Only chunks the
+        // worker actually accepted count toward `pushed()`: a rejected
+        // chunk was never part of the analyzed stream, and inflating the
+        // counter would misreport how much audio was listened to.
+        if self
+            .tx
+            .as_ref()
+            .expect("push after finish")
+            .send(chunk)
+            .is_ok()
+        {
+            self.samples_sent += len;
+        }
     }
 
     /// Take the events decoded so far (deduplication across overlapping
@@ -379,5 +390,36 @@ mod tests {
             err.0
         );
         assert!(err.to_string().contains("worker panicked"));
+    }
+
+    #[test]
+    fn dead_worker_does_not_inflate_pushed() {
+        // Regression: `push` used to count a chunk's samples before the
+        // send, so chunks dropped on the floor after the worker died still
+        // inflated `pushed()`. Kill the worker with a poison chunk, then
+        // verify further pushes are not counted.
+        let mut plan = FrequencyPlan::new(700.0, 1500.0, 60.0);
+        let set = plan.allocate("dev", 2).unwrap();
+        let mut listener = LiveListener::start("dev", set, SR, 2);
+        listener.push(Signal::silence(Duration::from_millis(100), SR));
+        listener.sample_rate = 48_000;
+        // Poison: passes the handle's (forged) front-door check, trips the
+        // worker's own invariant. Whether this chunk is counted depends on
+        // when the worker dies, so measure after the hangup is definite.
+        listener.push(Signal::silence(Duration::from_millis(10), 48_000));
+        let _ = listener.worker.as_ref().map(|w| {
+            // Wait for the worker to actually die so the channel is closed.
+            while !w.is_finished() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        let before = listener.pushed();
+        listener.push(Signal::silence(Duration::from_millis(500), 48_000));
+        assert_eq!(
+            listener.pushed(),
+            before,
+            "rejected chunk must not count as pushed"
+        );
+        listener.finish().expect_err("worker must have panicked");
     }
 }

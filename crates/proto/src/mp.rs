@@ -51,7 +51,7 @@ pub struct MpTone {
 }
 
 /// Why a tone's engineering units don't fit the wire format.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MpToneError {
     /// Frequency outside `0 ..= u32::MAX` centihertz (or not finite).
     FrequencyOutOfRange(f64),

@@ -20,7 +20,7 @@ fn build(
 ) -> (Scene, Vec<SoundingDevice>, MdnController) {
     let hi = 300.0 + spacing * (SWITCHES * slots_per_switch + 2) as f64;
     let mut plan = FrequencyPlan::new(300.0, hi, spacing);
-    let mut scene = Scene::new(SR, ambient);
+    let scene = Scene::new(SR, ambient);
     // One central microphone; switches arranged along a rack row, 40 cm
     // apart.
     let mut ctl = MdnController::new(Microphone::measurement(), Pos::new(1.2, 0.6, 0.0));
