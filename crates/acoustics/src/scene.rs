@@ -12,7 +12,20 @@ use crate::medium::{propagation_delay_s, spreading_gain, Pos};
 use crate::mic::Microphone;
 use mdn_audio::signal::{duration_to_samples, spl_to_amplitude};
 use mdn_audio::Signal;
+use mdn_obs::{Counter, Histogram, Registry};
 use std::time::Duration;
+
+/// Registry handles for a [`Scene`]'s counters; disabled by default.
+/// Updates happen from `&self` render paths (including scoped worker
+/// threads), which the atomic handles make safe.
+#[derive(Debug, Clone, Default)]
+struct SceneObs {
+    emissions: Counter,
+    muted_emissions: Counter,
+    noise_bursts: Counter,
+    mic_dead_windows: Counter,
+    render_span: Histogram,
+}
 
 /// One scheduled sound in the scene.
 #[derive(Debug, Clone)]
@@ -40,6 +53,7 @@ pub struct Scene {
     ambient_seed: u64,
     faults: Option<SceneFaultPlan>,
     render_threads: usize,
+    obs: SceneObs,
 }
 
 impl Scene {
@@ -53,7 +67,25 @@ impl Scene {
             ambient_seed: 0,
             faults: None,
             render_threads: 0,
+            obs: SceneObs::default(),
         }
+    }
+
+    /// Register this scene's metrics with an observability registry:
+    /// `mdn_scene_emissions_total`, fault-activation counters
+    /// (`mdn_scene_muted_emissions_total`, `mdn_scene_noise_bursts_total`,
+    /// `mdn_scene_mic_dead_windows_total`), and the
+    /// `mdn_stage_ns{stage="scene.render"}` span. Emissions already
+    /// scheduled are carried over.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        self.obs = SceneObs {
+            emissions: registry.counter("mdn_scene_emissions_total", &[]),
+            muted_emissions: registry.counter("mdn_scene_muted_emissions_total", &[]),
+            noise_bursts: registry.counter("mdn_scene_noise_bursts_total", &[]),
+            mic_dead_windows: registry.counter("mdn_scene_mic_dead_windows_total", &[]),
+            render_span: registry.stage_histogram("scene.render"),
+        };
+        self.obs.emissions.add(self.emissions.len() as u64);
     }
 
     /// A quiet scene (20 dB SPL ambient) — the default for unit tests.
@@ -112,6 +144,7 @@ impl Scene {
             signal,
             label: label.into(),
         });
+        self.obs.emissions.inc();
     }
 
     /// Number of scheduled emissions.
@@ -161,6 +194,7 @@ impl Scene {
             if let Some(plan) = &self.faults {
                 // A dead speaker plays nothing for the whole emission.
                 if plan.speaker_muted(&e.label, e.start) {
+                    self.obs.muted_emissions.inc();
                     continue;
                 }
             }
@@ -211,6 +245,7 @@ impl Scene {
     /// Long renders are mixed in parallel ([`Scene::set_render_threads`]);
     /// the output is byte-identical for any thread count.
     pub fn render_at(&self, listener: Pos, duration: Duration) -> Signal {
+        let _span = self.obs.render_span.start_span();
         let mut out = self
             .ambient
             .render(duration, self.sample_rate, self.ambient_seed);
@@ -224,6 +259,7 @@ impl Scene {
                 if win.from >= duration {
                     continue;
                 }
+                self.obs.noise_bursts.inc();
                 let burst = mdn_audio::noise::white_noise(
                     win.to - win.from,
                     spl_to_amplitude(*level_db),
@@ -239,6 +275,9 @@ impl Scene {
             for win in plan.mic_dead_windows() {
                 let from = duration_to_samples(win.from, self.sample_rate).min(total_len);
                 let to = duration_to_samples(win.to, self.sample_rate).min(total_len);
+                if from < to {
+                    self.obs.mic_dead_windows.inc();
+                }
                 for s in &mut out.samples_mut()[from..to] {
                     *s = 0.0;
                 }
@@ -479,6 +518,41 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn obs_counters_mirror_scene_activity() {
+        use crate::faults::{SceneFaultPlan, TimeWindow};
+        let registry = Registry::new();
+        let mut scene = Scene::quiet(SR);
+        scene.add(Pos::ORIGIN, Duration::ZERO, tone(1000.0, 200, 60.0), "sw-1");
+        // Attaching after the fact carries over already-scheduled emissions.
+        scene.attach_obs(&registry);
+        scene.add(Pos::ORIGIN, Duration::ZERO, tone(2000.0, 200, 60.0), "sw-2");
+        scene.set_faults(
+            SceneFaultPlan::new(3)
+                .speaker_dropout(
+                    "sw-1",
+                    TimeWindow::new(Duration::ZERO, Duration::from_secs(1)),
+                )
+                .noise_burst(
+                    TimeWindow::new(Duration::from_millis(50), Duration::from_millis(100)),
+                    65.0,
+                )
+                .mic_dead(TimeWindow::new(
+                    Duration::from_millis(120),
+                    Duration::from_millis(160),
+                )),
+        );
+        scene.render_at(Pos::new(0.5, 0.0, 0.0), Duration::from_millis(200));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["mdn_scene_emissions_total"], 2);
+        assert_eq!(snap.counters["mdn_scene_muted_emissions_total"], 1);
+        assert_eq!(snap.counters["mdn_scene_noise_bursts_total"], 1);
+        assert_eq!(snap.counters["mdn_scene_mic_dead_windows_total"], 1);
+        let render = &snap.histograms["mdn_stage_ns{stage=\"scene.render\"}"];
+        assert_eq!(render.count, 1);
+        assert!(render.sum > 0);
     }
 
     #[test]

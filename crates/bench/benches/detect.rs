@@ -8,7 +8,9 @@
 //! the long ones and writes a machine-readable summary to
 //! `BENCH_detect.json` at the workspace root, including the speedup of the
 //! banked parallel path over the old per-candidate sequential scan on the
-//! 16-candidate 10 s capture.
+//! 16-candidate 10 s capture, and the overhead ratio of the
+//! `mdn-obs`-instrumented detector over the bare one on the same capture
+//! (both ratios are medians over interleaved pairs so host drift cancels).
 //!
 //! `cargo bench -p mdn-bench --bench detect -- --test` runs one smoke
 //! iteration of everything and skips the JSON (CI uses this).
@@ -20,6 +22,7 @@ use mdn_audio::signal::duration_to_samples;
 use mdn_audio::synth::Tone;
 use mdn_audio::Signal;
 use mdn_core::detector::{DetectorConfig, ToneDetector};
+use mdn_obs::Registry;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -53,6 +56,15 @@ fn detector(candidates: &[f64], threads: usize) -> ToneDetector {
             ..DetectorConfig::default()
         },
     )
+}
+
+/// The same detector with live `mdn-obs` handles attached — the
+/// configuration the overhead claim is about (counters bumped per frame
+/// from the workers, two stage spans per call).
+fn detector_obs(candidates: &[f64], threads: usize) -> ToneDetector {
+    let mut det = detector(candidates, threads);
+    det.attach_obs(&Registry::new());
+    det
 }
 
 /// The pre-bank hot path, kept as the speedup reference: one independent
@@ -125,6 +137,12 @@ fn criterion_benches(c: &mut Criterion) {
                 &sig,
                 |b, sig| b.iter(|| black_box(det.detect_fft(black_box(sig), 10.0))),
             );
+            let det = detector_obs(&candidates, threads);
+            group.bench_with_input(
+                BenchmarkId::new(format!("goertzel_obs/{label}"), n),
+                &sig,
+                |b, sig| b.iter(|| black_box(det.detect(black_box(sig)))),
+            );
         }
         group.bench_with_input(
             BenchmarkId::new("goertzel/old_per_candidate", n),
@@ -154,6 +172,24 @@ fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     best
 }
 
+/// Median of per-pair time ratios between two interleaved closures.
+/// Independent best-of loops pick up slow host drift that can dwarf the
+/// effect being measured; interleaving cancels the drift and the median
+/// discards outlier reps.
+fn paired_ratio<N: FnMut(), D: FnMut()>(pairs: usize, mut num: N, mut den: D) -> f64 {
+    let mut ratios = Vec::with_capacity(pairs);
+    for _ in 0..pairs {
+        let t = Instant::now();
+        num();
+        let n = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        den();
+        ratios.push(n / t.elapsed().as_secs_f64());
+    }
+    ratios.sort_by(f64::total_cmp);
+    ratios[ratios.len() / 2]
+}
+
 /// The long-capture sweep (manual timing; criterion's statistics are
 /// overkill at seconds per iteration) and the JSON summary.
 fn sweep_and_report(smoke: bool) {
@@ -161,6 +197,7 @@ fn sweep_and_report(smoke: bool) {
     let durations: &[u64] = if smoke { &[1] } else { &[1, 10, 60] };
     let mut rows: Vec<SweepRow> = Vec::new();
     let mut speedup_16c_10s = None;
+    let mut obs_overhead_16c_10s = None;
     for &secs in durations {
         for &n in &[1usize, 4, 16] {
             let candidates = candidate_freqs(n);
@@ -190,8 +227,37 @@ fn sweep_and_report(smoke: bool) {
                     threads,
                     millis: new_ms,
                 });
+                let det_obs = detector_obs(&candidates, threads);
+                let obs_ms = best_of(reps, || {
+                    black_box(det_obs.detect(black_box(&sig)));
+                });
+                rows.push(SweepRow {
+                    path: "goertzel_bank_obs",
+                    candidates: n,
+                    capture_s: secs,
+                    threads,
+                    millis: obs_ms,
+                });
                 if n == 16 && secs == 10 && threads == 0 {
-                    speedup_16c_10s = Some(old_ms / new_ms);
+                    let pairs = if smoke { 1 } else { 9 };
+                    speedup_16c_10s = Some(paired_ratio(
+                        pairs,
+                        || {
+                            black_box(old_per_candidate_scan(black_box(&sig), &candidates));
+                        },
+                        || {
+                            black_box(det.detect(black_box(&sig)));
+                        },
+                    ));
+                    obs_overhead_16c_10s = Some(paired_ratio(
+                        pairs,
+                        || {
+                            black_box(det_obs.detect(black_box(&sig)));
+                        },
+                        || {
+                            black_box(det.detect(black_box(&sig)));
+                        },
+                    ));
                 }
                 let fft_ms = best_of(reps, || {
                     black_box(det.detect_fft(black_box(&sig), 10.0));
@@ -218,6 +284,7 @@ fn sweep_and_report(smoke: bool) {
         "frame_ms": 50,
         "hop_ms": 25,
         "speedup_old_vs_bank_parallel_16c_10s": speedup_16c_10s,
+        "obs_overhead_ratio_16c_10s": obs_overhead_16c_10s,
         "rows": rows,
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_detect.json");
@@ -225,6 +292,9 @@ fn sweep_and_report(smoke: bool) {
         .expect("write BENCH_detect.json");
     if let Some(s) = speedup_16c_10s {
         eprintln!("detect: old/new speedup on 16 candidates × 10 s = {s:.2}×");
+    }
+    if let Some(r) = obs_overhead_16c_10s {
+        eprintln!("detect: obs-instrumented / bare on 16 candidates × 10 s = {r:.3}×");
     }
     eprintln!("wrote {path}");
 }

@@ -14,6 +14,7 @@ use mdn_acoustics::medium::Pos;
 use mdn_acoustics::mic::Microphone;
 use mdn_acoustics::scene::Scene;
 use mdn_audio::Signal;
+use mdn_obs::{Counter, Registry};
 use std::time::Duration;
 
 /// A device the controller listens for.
@@ -55,6 +56,10 @@ pub struct MdnController {
     /// Per-device health ladder (fed by delivery evidence, drives the
     /// wire-vs-acoustic control-path decision).
     health: HealthTracker,
+    /// The attached observability registry (disabled by default), kept so
+    /// `rebuild` can re-instrument freshly constructed detectors.
+    obs_registry: Registry,
+    obs_events: Counter,
 }
 
 impl MdnController {
@@ -69,6 +74,22 @@ impl MdnController {
             config: DetectorConfig::default(),
             candidate_map: Vec::new(),
             health: HealthTracker::default(),
+            obs_registry: Registry::disabled(),
+            obs_events: Counter::disabled(),
+        }
+    }
+
+    /// Register the controller's metrics with an observability registry:
+    /// `mdn_events_decoded_total`, the detector's counters and stage spans
+    /// (kept attached across [`MdnController::set_config`] /
+    /// [`MdnController::bind_device`] rebuilds), and the health tracker's
+    /// transition accounting.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        self.obs_registry = registry.clone();
+        self.obs_events = registry.counter("mdn_events_decoded_total", &[]);
+        self.health.attach_obs(registry);
+        if let Some(det) = &mut self.detector {
+            det.attach_obs(registry);
         }
     }
 
@@ -133,7 +154,9 @@ impl MdnController {
         self.detector = if candidates.is_empty() {
             None
         } else {
-            Some(ToneDetector::with_config(candidates, self.config))
+            let mut det = ToneDetector::with_config(candidates, self.config);
+            det.attach_obs(&self.obs_registry);
+            Some(det)
         };
     }
 
@@ -163,10 +186,13 @@ impl MdnController {
         let Some(det) = &self.detector else {
             return Vec::new();
         };
-        det.detect(capture)
+        let events: Vec<MdnEvent> = det
+            .detect(capture)
             .into_iter()
             .map(|o| self.to_event(o))
-            .collect()
+            .collect();
+        self.obs_events.add(events.len() as u64);
+        events
     }
 
     /// Capture a window and decode it in one step; event times are offset
@@ -401,6 +427,37 @@ mod tests {
         assert_eq!(ctl.device_state("sw1"), HealthState::Quarantined);
         assert_eq!(ctl.control_path("sw1"), ControlPath::Acoustic);
         assert_eq!(ctl.device_state("sw2"), HealthState::Healthy);
+    }
+
+    #[test]
+    fn obs_survives_rebuilds_and_counts_decoded_events() {
+        let registry = Registry::new();
+        let (mut scene, mut ctl, mut d1, _) = setup();
+        ctl.attach_obs(&registry);
+        // Rebuild after attachment: the fresh detector must stay
+        // instrumented.
+        ctl.set_threads(1);
+        d1.emit(&mut scene, 2, Duration::from_millis(100)).unwrap();
+        let events = ctl.listen(&scene, Duration::ZERO, Duration::from_millis(300));
+        assert!(!events.is_empty());
+        let snap = registry.snapshot();
+        assert!(
+            snap.counters["mdn_detect_frames_total"] > 0,
+            "rebuilt detector lost its obs handles"
+        );
+        // `listen` decodes a pre-rolled capture and then filters; the
+        // decoded-event counter sees the unfiltered stream, so it is at
+        // least the returned count.
+        assert!(snap.counters["mdn_events_decoded_total"] >= events.len() as u64);
+        assert!(snap
+            .histograms
+            .contains_key("mdn_stage_ns{stage=\"detect.goertzel_bank\"}"));
+        // Health evidence flows into the same registry.
+        ctl.health_mut()
+            .record_expiry("sw1", 2, Duration::from_millis(900));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["mdn_health_transitions_total"], 1);
+        assert_eq!(snap.journal.len(), 1);
     }
 
     #[test]

@@ -25,6 +25,7 @@ use mdn_audio::goertzel::{GoertzelBank, GoertzelState};
 use mdn_audio::signal::duration_to_samples;
 use mdn_audio::spectral::{Spectrum, SpectrumScratch};
 use mdn_audio::Signal;
+use mdn_obs::{Counter, Histogram, Registry};
 use std::collections::BTreeSet;
 use std::time::Duration;
 
@@ -129,6 +130,19 @@ impl FrameGrid {
     }
 }
 
+/// Registry handles for the detector's counters and stage spans; disabled
+/// (free) by default. Counters are bumped from inside `std::thread::scope`
+/// workers, which the atomic handles make safe; histograms are resolved
+/// once at attach time so the hot loop never touches the registry lock.
+#[derive(Debug, Clone, Default)]
+struct DetectorObs {
+    frames: Counter,
+    observations: Counter,
+    goertzel_span: Histogram,
+    local_max_span: Histogram,
+    fft_span: Histogram,
+}
+
 /// A multi-frequency tone detector.
 #[derive(Debug, Clone)]
 pub struct ToneDetector {
@@ -138,6 +152,7 @@ pub struct ToneDetector {
     /// [`ToneDetector::calibrate`]; defaults to zero (absolute threshold
     /// only).
     noise_floor: Vec<f64>,
+    obs: DetectorObs,
 }
 
 impl ToneDetector {
@@ -164,7 +179,23 @@ impl ToneDetector {
             config,
             candidates,
             noise_floor: vec![0.0; n],
+            obs: DetectorObs::default(),
         }
+    }
+
+    /// Register this detector's metrics with an observability registry:
+    /// `mdn_detect_frames_total` (analysis frames processed, bumped from
+    /// the worker threads), `mdn_detect_observations_total`, and the
+    /// `mdn_stage_ns` spans for `detect.goertzel_bank`,
+    /// `detect.local_max`, and `detect.fft`.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        self.obs = DetectorObs {
+            frames: registry.counter("mdn_detect_frames_total", &[]),
+            observations: registry.counter("mdn_detect_observations_total", &[]),
+            goertzel_span: registry.stage_histogram("detect.goertzel_bank"),
+            local_max_span: registry.stage_histogram("detect.local_max"),
+            fft_span: registry.stage_histogram("detect.fft"),
+        };
     }
 
     /// The candidate frequencies.
@@ -226,6 +257,7 @@ impl ToneDetector {
     /// frame of `signal`, computed by the Goertzel bank — in parallel when
     /// the capture is long enough. Deterministic for any thread count.
     fn frame_magnitudes(&self, signal: &Signal) -> (FrameGrid, Vec<f64>) {
+        let _span = self.obs.goertzel_span.start_span();
         let sr = signal.sample_rate();
         let samples = signal.samples();
         let grid = self.grid(samples.len(), sr);
@@ -233,12 +265,14 @@ impl ToneDetector {
         let bank = GoertzelBank::new(&self.candidates, sr);
         let mut mags = vec![0.0f64; grid.n_frames * k];
         let threads = self.worker_threads(grid.n_frames);
+        let frames_ctr = &self.obs.frames;
         let run = |first_frame: usize, rows: &mut [f64]| {
             let mut state = GoertzelState::default();
             let mut tail = Vec::new();
             for (i, row) in rows.chunks_mut(k).enumerate() {
                 let frame = grid.frame(samples, first_frame + i, &mut tail);
                 bank.magnitudes_into(frame, &mut state, row);
+                frames_ctr.inc();
             }
         };
         if threads <= 1 {
@@ -268,6 +302,7 @@ impl ToneDetector {
     ///   tones in partially-occupied frames).
     pub fn detect(&self, signal: &Signal) -> Vec<ToneObservation> {
         let (grid, all_mags) = self.frame_magnitudes(signal);
+        let _span = self.obs.local_max_span.start_span();
         let k = self.candidates.len();
         // Candidate indices sorted by frequency, for local-max testing.
         let mut order: Vec<usize> = (0..k).collect();
@@ -332,6 +367,7 @@ impl ToneDetector {
                 }
             }
         }
+        self.obs.observations.add(out.len() as u64);
         out
     }
 
@@ -345,11 +381,13 @@ impl ToneDetector {
     /// the steady-state loop clones no frames and allocates nothing. The
     /// observation order is frame-major, identical to the sequential path.
     pub fn detect_fft(&self, signal: &Signal, tolerance_hz: f64) -> Vec<ToneObservation> {
+        let _span = self.obs.fft_span.start_span();
         let sr = signal.sample_rate();
         let samples = signal.samples();
         let grid = self.grid(samples.len(), sr);
         let mut per_frame: Vec<Vec<ToneObservation>> = vec![Vec::new(); grid.n_frames];
         let threads = self.worker_threads(grid.n_frames);
+        let frames_ctr = &self.obs.frames;
         let run = |first_frame: usize, slots: &mut [Vec<ToneObservation>]| {
             let mut planner = mdn_audio::fft::FftPlanner::new();
             let mut scratch = SpectrumScratch::default();
@@ -357,6 +395,7 @@ impl ToneDetector {
             let mut tail = Vec::new();
             for (i, slot) in slots.iter_mut().enumerate() {
                 let fi = first_frame + i;
+                frames_ctr.inc();
                 let frame = grid.frame(samples, fi, &mut tail);
                 Spectrum::compute_into(
                     frame,
@@ -399,7 +438,9 @@ impl ToneDetector {
                 }
             });
         }
-        per_frame.into_iter().flatten().collect()
+        let out: Vec<ToneObservation> = per_frame.into_iter().flatten().collect();
+        self.obs.observations.add(out.len() as u64);
+        out
     }
 
     fn passes(&self, candidate: usize, magnitude: f64) -> bool {
@@ -695,6 +736,60 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn obs_counter_totals_agree_across_thread_counts() {
+        // The frames counter is bumped from inside the scoped worker
+        // threads; totals must be exact — not approximate — for every
+        // thread count, and match the sequential ground truth.
+        let sig = busy_capture();
+        let candidates = vec![600.0, 700.0, 900.0, 1300.0, 1700.0];
+        let mut totals = Vec::new();
+        for threads in [0usize, 1, 4] {
+            let registry = mdn_obs::Registry::new();
+            let mut det = ToneDetector::with_config(
+                candidates.clone(),
+                DetectorConfig {
+                    threads,
+                    ..DetectorConfig::default()
+                },
+            );
+            det.attach_obs(&registry);
+            let obs = det.detect(&sig);
+            let snap = registry.snapshot();
+            let expected_frames = det.grid(sig.samples().len(), SR).n_frames as u64;
+            assert_eq!(
+                snap.counters["mdn_detect_frames_total"], expected_frames,
+                "threads={threads}"
+            );
+            assert_eq!(
+                snap.counters["mdn_detect_observations_total"],
+                obs.len() as u64,
+                "threads={threads}"
+            );
+            // Both detect stages timed something.
+            let goertzel = &snap.histograms["mdn_stage_ns{stage=\"detect.goertzel_bank\"}"];
+            let local_max = &snap.histograms["mdn_stage_ns{stage=\"detect.local_max\"}"];
+            assert_eq!(goertzel.count, 1, "threads={threads}");
+            assert_eq!(local_max.count, 1, "threads={threads}");
+            totals.push((
+                snap.counters["mdn_detect_frames_total"],
+                snap.counters["mdn_detect_observations_total"],
+            ));
+        }
+        assert!(
+            totals.windows(2).all(|w| w[0] == w[1]),
+            "counter totals differ across thread counts: {totals:?}"
+        );
+    }
+
+    #[test]
+    fn obs_disabled_detector_counts_nothing() {
+        let sig = busy_capture();
+        let det = ToneDetector::new(vec![600.0, 900.0]);
+        assert!(!det.detect(&sig).is_empty());
+        assert_eq!(det.obs.frames.get(), 0, "default handles stay inert");
     }
 
     #[test]

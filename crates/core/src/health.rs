@@ -18,6 +18,7 @@
 //! outright and flips the device's control path to
 //! [`ControlPath::Acoustic`] — the fallback the paper motivates.
 
+use mdn_obs::{Counter, Journal, Registry};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -58,6 +59,12 @@ pub struct HealthConfig {
     pub ack_reward: f64,
     /// Multiplicative decay applied per tick.
     pub decay: f64,
+    /// Per-device transition-timeline ring capacity: when a device's
+    /// timeline is full the oldest entry is evicted and its
+    /// `dropped_transitions` counter bumped, so a long chaos run (a
+    /// flapping link can transition every tick) cannot grow memory without
+    /// bound. Capacity 0 keeps no timeline but still counts.
+    pub timeline_capacity: usize,
 }
 
 impl Default for HealthConfig {
@@ -70,6 +77,7 @@ impl Default for HealthConfig {
             echo_timeout_penalty: 3.0,
             ack_reward: 0.5,
             decay: 0.85,
+            timeline_capacity: 64,
         }
     }
 }
@@ -83,8 +91,12 @@ pub struct DeviceHealth {
     pub state: HealthState,
     /// False once the wire channel is declared dead (forces quarantine).
     pub wire_alive: bool,
-    /// Every state change as `(when, new state)`, in order.
+    /// The last [`HealthConfig::timeline_capacity`] state changes as
+    /// `(when, new state)`, oldest first.
     pub transitions: Vec<(Duration, HealthState)>,
+    /// State changes evicted from the front of `transitions` once the
+    /// ring filled up.
+    pub dropped_transitions: u64,
 }
 
 impl DeviceHealth {
@@ -94,8 +106,18 @@ impl DeviceHealth {
             state: HealthState::Healthy,
             wire_alive: true,
             transitions: Vec::new(),
+            dropped_transitions: 0,
         }
     }
+}
+
+/// Registry handles for the tracker's transition accounting; disabled
+/// (free) by default.
+#[derive(Debug, Clone, Default)]
+struct TrackerObs {
+    transitions: Counter,
+    quarantines: Counter,
+    journal: Journal,
 }
 
 /// Health records for every tracked device, keyed by name.
@@ -106,6 +128,7 @@ impl DeviceHealth {
 pub struct HealthTracker {
     config: HealthConfig,
     devices: BTreeMap<String, DeviceHealth>,
+    obs: TrackerObs,
 }
 
 impl HealthTracker {
@@ -114,6 +137,7 @@ impl HealthTracker {
         Self {
             config,
             devices: BTreeMap::new(),
+            obs: TrackerObs::default(),
         }
     }
 
@@ -122,13 +146,44 @@ impl HealthTracker {
         self.config
     }
 
+    /// Register this tracker's metrics with an observability registry:
+    /// `mdn_health_transitions_total`, `mdn_health_quarantines_total`, and
+    /// a `health.transition` entry in the registry's journal per state
+    /// change. Transitions recorded before attachment are carried over to
+    /// the counters (the journal only sees changes from now on).
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        self.obs = TrackerObs {
+            transitions: registry.counter("mdn_health_transitions_total", &[]),
+            quarantines: registry.counter("mdn_health_quarantines_total", &[]),
+            journal: registry.journal(),
+        };
+        let mut prior = 0u64;
+        let mut prior_quarantines = 0u64;
+        for d in self.devices.values() {
+            prior += d.transitions.len() as u64 + d.dropped_transitions;
+            prior_quarantines += d
+                .transitions
+                .iter()
+                .filter(|(_, s)| *s == HealthState::Quarantined)
+                .count() as u64;
+        }
+        self.obs.transitions.add(prior);
+        self.obs.quarantines.add(prior_quarantines);
+    }
+
     fn entry(&mut self, device: &str) -> &mut DeviceHealth {
         self.devices
             .entry(device.to_string())
             .or_insert_with(DeviceHealth::new)
     }
 
-    fn recompute(config: &HealthConfig, d: &mut DeviceHealth, now: Duration) {
+    fn recompute(
+        config: &HealthConfig,
+        obs: &TrackerObs,
+        device: &str,
+        d: &mut DeviceHealth,
+        now: Duration,
+    ) {
         let state = if !d.wire_alive || d.score >= config.quarantine_at {
             HealthState::Quarantined
         } else if d.score >= config.degraded_at {
@@ -137,63 +192,78 @@ impl HealthTracker {
             HealthState::Healthy
         };
         if state != d.state {
+            let old = d.state;
             d.state = state;
-            d.transitions.push((now, state));
+            if config.timeline_capacity == 0 {
+                d.dropped_transitions += 1;
+            } else {
+                if d.transitions.len() >= config.timeline_capacity {
+                    d.transitions.remove(0);
+                    d.dropped_transitions += 1;
+                }
+                d.transitions.push((now, state));
+            }
+            obs.transitions.inc();
+            if state == HealthState::Quarantined {
+                obs.quarantines.inc();
+            }
+            obs.journal
+                .record(now, "health.transition", format!("{device}: {old:?} -> {state:?}"));
         }
     }
 
     /// Record confirmed MP acks for `device`.
     pub fn record_ack(&mut self, device: &str, count: u64, now: Duration) {
         let reward = self.config.ack_reward * count as f64;
-        let config = self.config;
+        let (config, obs) = (self.config, self.obs.clone());
         let d = self.entry(device);
         d.score = (d.score - reward).max(0.0);
-        Self::recompute(&config, d, now);
+        Self::recompute(&config, &obs, device, d, now);
     }
 
     /// Record MP retransmissions for `device`.
     pub fn record_retransmit(&mut self, device: &str, count: u64, now: Duration) {
         let penalty = self.config.retransmit_penalty * count as f64;
-        let config = self.config;
+        let (config, obs) = (self.config, self.obs.clone());
         let d = self.entry(device);
         d.score += penalty;
-        Self::recompute(&config, d, now);
+        Self::recompute(&config, &obs, device, d, now);
     }
 
     /// Record expired (gave-up) MP frames for `device`.
     pub fn record_expiry(&mut self, device: &str, count: u64, now: Duration) {
         let penalty = self.config.expiry_penalty * count as f64;
-        let config = self.config;
+        let (config, obs) = (self.config, self.obs.clone());
         let d = self.entry(device);
         d.score += penalty;
-        Self::recompute(&config, d, now);
+        Self::recompute(&config, &obs, device, d, now);
     }
 
     /// Record echo-probe timeouts for `device`'s wire channel.
     pub fn record_echo_timeout(&mut self, device: &str, count: u64, now: Duration) {
         let penalty = self.config.echo_timeout_penalty * count as f64;
-        let config = self.config;
+        let (config, obs) = (self.config, self.obs.clone());
         let d = self.entry(device);
         d.score += penalty;
-        Self::recompute(&config, d, now);
+        Self::recompute(&config, &obs, device, d, now);
     }
 
     /// Mark `device`'s wire channel alive or dead. A dead wire forces
     /// `Quarantined` regardless of score.
     pub fn set_wire_alive(&mut self, device: &str, alive: bool, now: Duration) {
-        let config = self.config;
+        let (config, obs) = (self.config, self.obs.clone());
         let d = self.entry(device);
         d.wire_alive = alive;
-        Self::recompute(&config, d, now);
+        Self::recompute(&config, &obs, device, d, now);
     }
 
     /// Apply one tick of multiplicative decay to every device and
     /// recompute states (recoveries get timestamped here).
     pub fn decay_tick(&mut self, now: Duration) {
-        let config = self.config;
-        for d in self.devices.values_mut() {
+        let (config, obs) = (self.config, self.obs.clone());
+        for (name, d) in self.devices.iter_mut() {
             d.score *= config.decay;
-            Self::recompute(&config, d, now);
+            Self::recompute(&config, &obs, name, d, now);
         }
     }
 
@@ -221,12 +291,23 @@ impl HealthTracker {
         }
     }
 
-    /// `device`'s state-transition timeline (empty if never seen).
+    /// `device`'s state-transition timeline — the most recent
+    /// [`HealthConfig::timeline_capacity`] changes, oldest first (empty if
+    /// never seen).
     pub fn timeline(&self, device: &str) -> &[(Duration, HealthState)] {
         self.devices
             .get(device)
             .map(|d| d.transitions.as_slice())
             .unwrap_or(&[])
+    }
+
+    /// How many of `device`'s transitions were evicted from the timeline
+    /// ring (0 if never seen).
+    pub fn dropped_transitions(&self, device: &str) -> u64 {
+        self.devices
+            .get(device)
+            .map(|d| d.dropped_transitions)
+            .unwrap_or(0)
     }
 
     /// Iterate over `(name, record)` in deterministic (name) order.
@@ -320,6 +401,56 @@ mod tests {
         assert_eq!(t.state("dev"), HealthState::Degraded);
         t.record_echo_timeout("dev", 1, MS(200));
         assert_eq!(t.state("dev"), HealthState::Quarantined);
+    }
+
+    #[test]
+    fn timeline_ring_evicts_oldest_and_counts_drops() {
+        let mut t = HealthTracker::new(HealthConfig {
+            timeline_capacity: 3,
+            ..HealthConfig::default()
+        });
+        // Flap the wire: each flip after the first no-op (the device
+        // starts alive) is one transition — 5 in total.
+        for i in 1..6u64 {
+            t.set_wire_alive("dev", i % 2 == 0, MS(i * 100));
+        }
+        let timeline = t.timeline("dev");
+        assert_eq!(timeline.len(), 3, "ring holds the configured capacity");
+        assert_eq!(t.dropped_transitions("dev"), 2);
+        // The newest transitions survive: flips at t=300, 400, 500 ms.
+        let times: Vec<u64> = timeline.iter().map(|(t, _)| t.as_millis() as u64).collect();
+        assert_eq!(times, vec![300, 400, 500]);
+    }
+
+    #[test]
+    fn zero_capacity_timeline_keeps_nothing_but_counts() {
+        let mut t = HealthTracker::new(HealthConfig {
+            timeline_capacity: 0,
+            ..HealthConfig::default()
+        });
+        t.set_wire_alive("dev", false, MS(100));
+        assert_eq!(t.state("dev"), HealthState::Quarantined, "state still moves");
+        assert!(t.timeline("dev").is_empty());
+        assert_eq!(t.dropped_transitions("dev"), 1);
+    }
+
+    #[test]
+    fn obs_counts_transitions_and_journals_them() {
+        let registry = mdn_obs::Registry::new();
+        let mut t = HealthTracker::default();
+        // One pre-attachment quarantine: must be carried over.
+        t.record_expiry("early", 2, MS(50));
+        t.attach_obs(&registry);
+        t.record_retransmit("dev", 2, MS(100)); // -> Degraded
+        t.record_expiry("dev", 2, MS(200)); // -> Quarantined
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["mdn_health_transitions_total"], 3);
+        assert_eq!(snap.counters["mdn_health_quarantines_total"], 2);
+        let kinds: Vec<&str> = snap.journal.iter().map(|e| e.kind.as_str()).collect();
+        assert_eq!(kinds, vec!["health.transition", "health.transition"]);
+        assert_eq!(snap.journal[0].detail, "dev: Healthy -> Degraded");
+        assert_eq!(snap.journal[1].detail, "dev: Degraded -> Quarantined");
+        assert_eq!(snap.journal[1].at, MS(200));
     }
 
     #[test]

@@ -61,6 +61,6 @@ pub mod topology;
 pub mod traffic;
 
 pub use faults::{FaultScript, NetFault};
-pub use network::{Network, RunOutcome};
+pub use network::{Network, QueueStat, QueueTotals, RunOutcome};
 pub use packet::{FlowKey, Ip, Packet, Proto};
 pub use sim::NodeId;

@@ -31,6 +31,10 @@ pub struct Link {
     pub latency: Duration,
     /// Administratively up? (Failure injection flips this.)
     pub up: bool,
+    /// Packets transmitted onto this link (both directions), lifetime.
+    pub tx_packets: u64,
+    /// Bytes transmitted onto this link (both directions), lifetime.
+    pub tx_bytes: u64,
 }
 
 impl Link {
@@ -46,7 +50,20 @@ impl Link {
             rate_bps,
             latency,
             up: true,
+            tx_packets: 0,
+            tx_bytes: 0,
         }
+    }
+
+    /// Fraction of the line rate consumed by traffic transmitted so far,
+    /// over a window of `elapsed` simulated time (0.0 for a zero window).
+    /// Can exceed 1.0 when the window undercounts serialization overlap.
+    pub fn utilization(&self, elapsed: Duration) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        (self.tx_bytes as f64 * 8.0) / (self.rate_bps as f64 * secs)
     }
 
     /// Serialization delay for `bytes` at the line rate.

@@ -41,6 +41,9 @@ pub struct PacketQueue {
     pub dropped: u64,
     /// Total bytes accepted.
     pub accepted_bytes: u64,
+    /// Deepest occupancy (in packets) ever reached — the congestion
+    /// figure the paper's queue tones quantise into low/mid/high bands.
+    pub high_water: usize,
 }
 
 impl PacketQueue {
@@ -56,6 +59,7 @@ impl PacketQueue {
             accepted: 0,
             dropped: 0,
             accepted_bytes: 0,
+            high_water: 0,
         }
     }
 
@@ -89,6 +93,7 @@ impl PacketQueue {
         self.accepted += 1;
         self.accepted_bytes += packet.size_bytes as u64;
         self.items.push_back(packet);
+        self.high_water = self.high_water.max(self.items.len());
         Enqueue::Ok
     }
 
@@ -169,6 +174,26 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_panics() {
         PacketQueue::new(0);
+    }
+
+    #[test]
+    fn high_water_tracks_deepest_occupancy() {
+        let mut q = PacketQueue::new(10);
+        q.enqueue(pkt(0));
+        q.enqueue(pkt(1));
+        q.enqueue(pkt(2));
+        assert_eq!(q.high_water, 3);
+        q.dequeue();
+        q.dequeue();
+        assert_eq!(q.high_water, 3, "high-water mark never recedes");
+        q.enqueue(pkt(3));
+        assert_eq!(q.high_water, 3);
+        for i in 4..8 {
+            q.enqueue(pkt(i));
+        }
+        assert_eq!(q.high_water, 6);
+        q.clear();
+        assert_eq!(q.high_water, 6, "clear keeps lifetime accounting");
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! # mdn-obs — the observability layer
+//!
+//! The paper's evaluation (§6, Figures 4–7) is entirely about *observed*
+//! behaviour — detection accuracy under noise, in-band telemetry latency,
+//! recovery timelines. This crate gives every other `mdn-*` crate one way
+//! to report that behaviour:
+//!
+//! * [`registry`] — a lock-free metrics [`Registry`]: atomic counters,
+//!   gauges and fixed-bucket log₂ latency histograms. Handles are cheap
+//!   `Arc` clones, safe to update from `std::thread::scope` workers, and
+//!   carry a no-op *disabled* mode so an uninstrumented hot path pays
+//!   nothing (not even a clock read).
+//! * [`span`] — lightweight span guards ([`span!`]) that record per-stage
+//!   wall time into a histogram when dropped: the capture → window →
+//!   Goertzel/FFT → local-max → event pipeline, MP encode → ARQ → ack
+//!   round trips, per-queue testbed hops.
+//! * [`export`] — a Prometheus text-format dump and a JSON
+//!   [`Snapshot`](export::Snapshot) (same spirit as `BENCH_detect.json`).
+//! * [`journal`] — a bounded ring-buffer event journal holding the last N
+//!   health/fault transitions, with an overflow counter instead of
+//!   unbounded growth.
+//!
+//! ```
+//! use mdn_obs::Registry;
+//!
+//! let registry = Registry::new();
+//! let frames = registry.counter("mdn_detect_frames_total", &[]);
+//! frames.add(3);
+//! {
+//!     let _span = mdn_obs::span!(registry, "detect.goertzel_bank");
+//!     // ... hot work; wall time lands in the stage histogram on drop ...
+//! }
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counters["mdn_detect_frames_total"], 3);
+//! assert!(registry.prometheus().contains("mdn_detect_frames_total 3"));
+//!
+//! // Disabled mode: identical call sites, zero work.
+//! let off = Registry::disabled();
+//! off.counter("x_total", &[]).inc();
+//! assert!(off.snapshot().counters.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod journal;
+pub mod registry;
+pub mod span;
+
+pub use export::{HistogramSnapshot, Snapshot};
+pub use journal::{Journal, JournalEvent};
+pub use registry::{Counter, Gauge, Histogram, Registry};
+pub use span::SpanTimer;

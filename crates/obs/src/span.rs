@@ -1,0 +1,102 @@
+//! Span timers: scoped guards that record elapsed wall time into a
+//! histogram when dropped.
+//!
+//! The guard reads the clock twice (on creation and on drop) and records
+//! the elapsed nanoseconds into its target [`Histogram`]. When the
+//! histogram handle is disabled the guard holds no start time at all —
+//! it never touches the clock — so instrumented code pays nothing unless
+//! a registry is attached.
+
+use crate::registry::Histogram;
+use std::time::Instant;
+
+/// A scoped timer recording elapsed nanoseconds into a [`Histogram`] on
+/// drop. Create one with [`Histogram::start_span`], [`crate::Registry::span`],
+/// or the [`span!`](crate::span!) macro; bind it to `_span` (not `_`,
+/// which drops immediately).
+#[derive(Debug)]
+pub struct SpanTimer {
+    hist: Histogram,
+    start: Option<Instant>,
+}
+
+impl SpanTimer {
+    /// Start timing into `hist`. Disabled histograms yield a timer that
+    /// skips the clock entirely.
+    #[inline]
+    pub fn new(hist: Histogram) -> Self {
+        let start = hist.is_enabled().then(Instant::now);
+        Self { hist, start }
+    }
+
+    /// Is this timer actually recording?
+    pub fn is_enabled(&self) -> bool {
+        self.start.is_some()
+    }
+}
+
+impl Drop for SpanTimer {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            self.hist.record(nanos);
+        }
+    }
+}
+
+/// Time the rest of the enclosing scope as pipeline stage `$stage`,
+/// recording into `$registry`'s `mdn_stage_ns{stage=...}` histogram:
+///
+/// ```
+/// # let registry = mdn_obs::Registry::new();
+/// {
+///     let _span = mdn_obs::span!(registry, "detect.goertzel_bank");
+///     // ... stage work ...
+/// }
+/// assert_eq!(registry.stage_histogram("detect.goertzel_bank").count(), 1);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($registry:expr, $stage:expr) => {
+        $crate::Registry::span(&$registry, $stage)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+
+    #[test]
+    fn span_records_into_stage_histogram() {
+        let reg = Registry::new();
+        {
+            let _span = crate::span!(reg, "stage.a");
+            std::hint::black_box(0u64);
+        }
+        {
+            let _span = reg.span("stage.a");
+        }
+        let h = reg.stage_histogram("stage.a");
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn disabled_span_never_records_and_skips_clock() {
+        let reg = Registry::disabled();
+        let span = reg.span("stage.a");
+        assert!(!span.is_enabled());
+        drop(span);
+        assert_eq!(reg.stage_histogram("stage.a").count(), 0);
+    }
+
+    #[test]
+    fn hot_loop_reuses_resolved_histogram() {
+        let reg = Registry::new();
+        let h = reg.stage_histogram("stage.hot");
+        for _ in 0..10 {
+            let _span = h.start_span();
+        }
+        assert_eq!(h.count(), 10);
+    }
+}

@@ -12,6 +12,21 @@ use crate::wire::WireError;
 use bytes::Bytes;
 use mdn_net::network::Network;
 use mdn_net::sim::NodeId;
+use mdn_obs::{Counter, Registry};
+
+/// A point-in-time snapshot of a [`ControlChannel`]'s frame accounting,
+/// returned by [`ControlChannel::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Frames delivered controller → switch.
+    pub frames_to_switch: u64,
+    /// Frames delivered switch → controller.
+    pub frames_to_controller: u64,
+    /// Frames that failed to decode on the switch side.
+    pub malformed_to_switch: u64,
+    /// Frames that failed to decode on the controller side.
+    pub malformed_to_controller: u64,
+}
 
 /// A bidirectional, in-memory, frame-oriented channel.
 ///
@@ -25,20 +40,44 @@ use mdn_net::sim::NodeId;
 pub struct ControlChannel {
     to_switch: FaultyQueue,
     to_controller: FaultyQueue,
-    /// Frames delivered controller → switch.
-    pub frames_to_switch: u64,
-    /// Frames delivered switch → controller.
-    pub frames_to_controller: u64,
-    /// Frames that failed to decode on the switch side.
-    pub malformed_to_switch: u64,
-    /// Frames that failed to decode on the controller side.
-    pub malformed_to_controller: u64,
+    stats: ChannelStats,
+    obs_frames_to_switch: Counter,
+    obs_frames_to_controller: Counter,
+    obs_malformed_to_switch: Counter,
+    obs_malformed_to_controller: Counter,
 }
 
 impl ControlChannel {
     /// An empty, lossless channel.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Register this channel's counters with an observability registry
+    /// (`mdn_channel_frames_total{dir=...}` /
+    /// `mdn_channel_malformed_total{dir=...}`). Counts accumulated before
+    /// attachment are carried over.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        self.obs_frames_to_switch =
+            registry.counter("mdn_channel_frames_total", &[("dir", "to_switch")]);
+        self.obs_frames_to_controller =
+            registry.counter("mdn_channel_frames_total", &[("dir", "to_controller")]);
+        self.obs_malformed_to_switch =
+            registry.counter("mdn_channel_malformed_total", &[("dir", "to_switch")]);
+        self.obs_malformed_to_controller =
+            registry.counter("mdn_channel_malformed_total", &[("dir", "to_controller")]);
+        self.obs_frames_to_switch.add(self.stats.frames_to_switch);
+        self.obs_frames_to_controller
+            .add(self.stats.frames_to_controller);
+        self.obs_malformed_to_switch
+            .add(self.stats.malformed_to_switch);
+        self.obs_malformed_to_controller
+            .add(self.stats.malformed_to_controller);
+    }
+
+    /// Frame delivery and decode-failure accounting, both directions.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
     }
 
     /// Attach per-direction fault policies. Per-direction RNG seeds are
@@ -68,47 +107,52 @@ impl ControlChannel {
     /// Controller → switch: enqueue an encoded message.
     pub fn send_to_switch(&mut self, msg: &OfMessage) {
         self.to_switch.push(msg.encode());
-        self.frames_to_switch += 1;
+        self.stats.frames_to_switch += 1;
+        self.obs_frames_to_switch.inc();
     }
 
     /// Switch → controller: enqueue an encoded message.
     pub fn send_to_controller(&mut self, msg: &OfMessage) {
         self.to_controller.push(msg.encode());
-        self.frames_to_controller += 1;
+        self.stats.frames_to_controller += 1;
+        self.obs_frames_to_controller.inc();
     }
 
     /// Inject a raw (possibly garbage) frame toward the switch — a test
     /// hook for exercising the malformed-frame path.
     pub fn inject_to_switch(&mut self, frame: Bytes) {
         self.to_switch.push(frame);
-        self.frames_to_switch += 1;
+        self.stats.frames_to_switch += 1;
+        self.obs_frames_to_switch.inc();
     }
 
     /// Inject a raw (possibly garbage) frame toward the controller.
     pub fn inject_to_controller(&mut self, frame: Bytes) {
         self.to_controller.push(frame);
-        self.frames_to_controller += 1;
+        self.stats.frames_to_controller += 1;
+        self.obs_frames_to_controller.inc();
     }
 
     /// Switch side: dequeue and decode the next frame. A decode failure
-    /// bumps [`malformed_to_switch`](Self::malformed_to_switch) and still
-    /// surfaces the error to the caller.
+    /// bumps [`ChannelStats::malformed_to_switch`] and still surfaces the
+    /// error to the caller.
     pub fn recv_at_switch(&mut self) -> Option<Result<OfMessage, WireError>> {
         let decoded = self.to_switch.pop().map(OfMessage::decode);
         if matches!(decoded, Some(Err(_))) {
-            self.malformed_to_switch += 1;
+            self.stats.malformed_to_switch += 1;
+            self.obs_malformed_to_switch.inc();
         }
         decoded
     }
 
     /// Controller side: dequeue and decode the next frame. A decode
-    /// failure bumps
-    /// [`malformed_to_controller`](Self::malformed_to_controller) and
-    /// still surfaces the error to the caller.
+    /// failure bumps [`ChannelStats::malformed_to_controller`] and still
+    /// surfaces the error to the caller.
     pub fn recv_at_controller(&mut self) -> Option<Result<OfMessage, WireError>> {
         let decoded = self.to_controller.pop().map(OfMessage::decode);
         if matches!(decoded, Some(Err(_))) {
-            self.malformed_to_controller += 1;
+            self.stats.malformed_to_controller += 1;
+            self.obs_malformed_to_controller.inc();
         }
         decoded
     }
@@ -259,7 +303,7 @@ mod tests {
         assert_eq!(chan.recv_at_switch().unwrap().unwrap().xid(), 1);
         assert_eq!(chan.recv_at_switch().unwrap().unwrap().xid(), 2);
         assert!(chan.recv_at_switch().is_none());
-        assert_eq!(chan.frames_to_switch, 2);
+        assert_eq!(chan.stats().frames_to_switch, 2);
     }
 
     #[test]
@@ -419,12 +463,12 @@ mod tests {
         });
         // The garbage frame is skipped, the FlowMod still applies.
         assert_eq!(pump_to_switch(&mut chan, &mut net, s), 1);
-        assert_eq!(chan.malformed_to_switch, 1);
-        assert_eq!(chan.malformed_to_controller, 0);
+        assert_eq!(chan.stats().malformed_to_switch, 1);
+        assert_eq!(chan.stats().malformed_to_controller, 0);
 
         chan.inject_to_controller(Bytes::from_static(&[0x00]));
         assert!(chan.recv_at_controller().unwrap().is_err());
-        assert_eq!(chan.malformed_to_controller, 1);
+        assert_eq!(chan.stats().malformed_to_controller, 1);
     }
 
     #[test]
@@ -469,6 +513,36 @@ mod tests {
         assert_eq!(dropped_a, dropped_b);
         assert!(dropped_a > 0, "seed 7 must drop something at p=0.5");
         assert_eq!(got_a.len() as u64 + dropped_a, 20);
+    }
+
+    #[test]
+    fn attach_obs_mirrors_stats_and_carries_over_prior_counts() {
+        let mut chan = ControlChannel::new();
+        // Traffic before attachment must be carried into the registry.
+        chan.send_to_switch(&OfMessage::Hello { xid: 1 });
+        chan.inject_to_controller(Bytes::from_static(&[0x00]));
+        let _ = chan.recv_at_controller();
+
+        let reg = mdn_obs::Registry::new();
+        chan.attach_obs(&reg);
+        chan.send_to_switch(&OfMessage::Hello { xid: 2 });
+        chan.send_to_controller(&OfMessage::Hello { xid: 3 });
+
+        let snap = reg.snapshot();
+        let stats = chan.stats();
+        assert_eq!(stats.frames_to_switch, 2);
+        assert_eq!(
+            snap.counters["mdn_channel_frames_total{dir=\"to_switch\"}"],
+            stats.frames_to_switch
+        );
+        assert_eq!(
+            snap.counters["mdn_channel_frames_total{dir=\"to_controller\"}"],
+            stats.frames_to_controller
+        );
+        assert_eq!(
+            snap.counters["mdn_channel_malformed_total{dir=\"to_controller\"}"],
+            stats.malformed_to_controller
+        );
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod openflow;
 pub mod reliable;
 pub mod wire;
 
-pub use channel::ControlChannel;
+pub use channel::{ChannelStats, ControlChannel};
 pub use faults::{DirectionFaults, FaultRng, FaultStats, FaultyQueue};
 pub use mp::{MpMessage, MpTone, MpToneError};
 pub use openflow::OfMessage;

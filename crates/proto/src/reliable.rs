@@ -22,8 +22,18 @@ use crate::faults::{DirectionFaults, FaultStats, FaultyQueue};
 use crate::mp::{MpMessage, MpTone};
 use crate::openflow::OfMessage;
 use bytes::Bytes;
+use mdn_obs::{Counter, Gauge, Registry};
 use std::collections::HashSet;
 use std::time::Duration;
+
+/// Registry handles for one [`MpEndpoint`]'s delivery counters.
+#[derive(Debug, Clone, Default)]
+struct MpObs {
+    sent: Counter,
+    retransmitted: Counter,
+    acked: Counter,
+    expired: Counter,
+}
 
 /// Retransmission policy: exponential backoff from `base` capped at
 /// `cap`, giving up after `max_retries` retransmissions.
@@ -136,6 +146,7 @@ pub struct MpEndpoint {
     next_seq: u16,
     outstanding: Vec<Outstanding>,
     stats: MpDeliveryStats,
+    obs: MpObs,
 }
 
 impl MpEndpoint {
@@ -146,7 +157,25 @@ impl MpEndpoint {
             next_seq: 0,
             outstanding: Vec::new(),
             stats: MpDeliveryStats::default(),
+            obs: MpObs::default(),
         }
+    }
+
+    /// Register this endpoint's delivery counters
+    /// (`mdn_mp_sent_total`, `mdn_mp_retransmitted_total`,
+    /// `mdn_mp_acked_total`, `mdn_mp_expired_total`) with a registry.
+    /// Counts accumulated before attachment are carried over.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        self.obs = MpObs {
+            sent: registry.counter("mdn_mp_sent_total", &[]),
+            retransmitted: registry.counter("mdn_mp_retransmitted_total", &[]),
+            acked: registry.counter("mdn_mp_acked_total", &[]),
+            expired: registry.counter("mdn_mp_expired_total", &[]),
+        };
+        self.obs.sent.add(self.stats.sent);
+        self.obs.retransmitted.add(self.stats.retransmitted);
+        self.obs.acked.add(self.stats.acked);
+        self.obs.expired.add(self.stats.expired);
     }
 
     /// Send a `PlayTone`, tracking it until acked or expired. Returns the
@@ -181,6 +210,7 @@ impl MpEndpoint {
         });
         self.next_seq = self.next_seq.wrapping_add(1);
         self.stats.sent += 1;
+        self.obs.sent.inc();
     }
 
     /// Drain and process acks from the reverse direction. Returns how
@@ -193,6 +223,7 @@ impl MpEndpoint {
                 if let Some(i) = self.outstanding.iter().position(|o| o.seq == seq) {
                     self.outstanding.remove(i);
                     self.stats.acked += 1;
+                    self.obs.acked.inc();
                     confirmed += 1;
                 }
             }
@@ -223,6 +254,8 @@ impl MpEndpoint {
         });
         self.stats.retransmitted += retx as u64;
         self.stats.expired += expired as u64;
+        self.obs.retransmitted.add(retx as u64);
+        self.obs.expired.add(expired as u64);
         (retx, expired)
     }
 
@@ -321,6 +354,10 @@ pub struct EchoMonitor {
     pub replies: u64,
     /// Probe timeouts, lifetime (does not reset on a reply).
     pub total_timeouts: u64,
+    obs_probes: Counter,
+    obs_replies: Counter,
+    obs_timeouts: Counter,
+    obs_alive: Gauge,
 }
 
 impl EchoMonitor {
@@ -343,7 +380,26 @@ impl EchoMonitor {
             probes_sent: 0,
             replies: 0,
             total_timeouts: 0,
+            obs_probes: Counter::disabled(),
+            obs_replies: Counter::disabled(),
+            obs_timeouts: Counter::disabled(),
+            obs_alive: Gauge::disabled(),
         }
+    }
+
+    /// Register this monitor's liveness metrics
+    /// (`mdn_echo_probes_total`, `mdn_echo_replies_total`,
+    /// `mdn_echo_timeouts_total`, and the `mdn_echo_alive` gauge) with a
+    /// registry. Counts accumulated before attachment are carried over.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        self.obs_probes = registry.counter("mdn_echo_probes_total", &[]);
+        self.obs_replies = registry.counter("mdn_echo_replies_total", &[]);
+        self.obs_timeouts = registry.counter("mdn_echo_timeouts_total", &[]);
+        self.obs_alive = registry.gauge("mdn_echo_alive", &[]);
+        self.obs_probes.add(self.probes_sent);
+        self.obs_replies.add(self.replies);
+        self.obs_timeouts.add(self.total_timeouts);
+        self.obs_alive.set(if self.alive { 1.0 } else { 0.0 });
     }
 
     /// Advance the monitor: expire a timed-out probe, then send a new one
@@ -354,8 +410,10 @@ impl EchoMonitor {
                 self.outstanding = None;
                 self.missed += 1;
                 self.total_timeouts += 1;
+                self.obs_timeouts.inc();
                 if self.missed >= self.max_missed {
                     self.alive = false;
+                    self.obs_alive.set(0.0);
                 }
             }
         }
@@ -370,6 +428,7 @@ impl EchoMonitor {
             self.outstanding = Some((xid, now));
             self.last_send = Some(now);
             self.probes_sent += 1;
+            self.obs_probes.inc();
         }
     }
 
@@ -393,6 +452,8 @@ impl EchoMonitor {
         self.missed = 0;
         self.alive = true;
         self.replies += 1;
+        self.obs_replies.inc();
+        self.obs_alive.set(1.0);
     }
 
     /// Is the channel considered alive?
@@ -581,6 +642,42 @@ mod tests {
         mon.on_reply(999);
         assert!(mon.is_alive());
         assert_eq!(mon.missed(), 0);
+    }
+
+    #[test]
+    fn endpoint_and_monitor_obs_mirror_ground_truth() {
+        let reg = Registry::new();
+        let mut link = MpLink::perfect();
+        link.forward.set_faults(1, DirectionFaults::none().drop(1.0));
+        let mut tx = MpEndpoint::new(BackoffConfig {
+            base: MS(100),
+            cap: MS(100),
+            max_retries: 2,
+        });
+        tx.send_tone(&mut link, tone(), MS(0)); // sent before attach — carried over
+        tx.attach_obs(&reg);
+        tx.tick(&mut link, MS(100));
+        tx.tick(&mut link, MS(200));
+        tx.tick(&mut link, MS(300));
+
+        let mut chan = ControlChannel::new();
+        let mut mon = EchoMonitor::new(MS(600), MS(900), 2);
+        mon.attach_obs(&reg);
+        mon.tick(&mut chan, MS(0));
+        mon.tick(&mut chan, MS(900));
+        mon.tick(&mut chan, MS(1800));
+
+        let snap = reg.snapshot();
+        let s = tx.stats();
+        assert_eq!(snap.counters["mdn_mp_sent_total"], s.sent);
+        assert_eq!(snap.counters["mdn_mp_retransmitted_total"], s.retransmitted);
+        assert_eq!(snap.counters["mdn_mp_expired_total"], s.expired);
+        assert_eq!(snap.counters["mdn_mp_acked_total"], s.acked);
+        assert_eq!(snap.counters["mdn_echo_probes_total"], mon.probes_sent);
+        assert_eq!(snap.counters["mdn_echo_timeouts_total"], mon.total_timeouts);
+        assert_eq!(snap.gauges["mdn_echo_alive"], 0.0, "monitor declared death");
+        mon.on_reply(1);
+        assert_eq!(reg.snapshot().gauges["mdn_echo_alive"], 1.0);
     }
 
     #[test]

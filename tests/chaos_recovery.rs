@@ -46,6 +46,9 @@ const MS: fn(u64) -> Duration = Duration::from_millis;
 const SEED: u64 = 403;
 
 /// Everything observable about one scenario run, for exact comparison.
+/// The obs fields hold only the deterministic parts of the registry
+/// snapshot — counters, gauges, and the journal are all driven by the
+/// scenario clock; stage histograms carry wall time and are left out.
 #[derive(Debug, Clone, PartialEq)]
 struct ScenarioOutcome {
     alarm_sent_at: Option<Duration>,
@@ -62,6 +65,9 @@ struct ScenarioOutcome {
     bytes_blackout: u64,
     bytes_tail: u64,
     bot_rx_packets: u64,
+    obs_counters: std::collections::BTreeMap<String, u64>,
+    obs_gauges: std::collections::BTreeMap<String, f64>,
+    obs_journal: Vec<mdn_obs::JournalEvent>,
 }
 
 /// Run the chaos scenario: 10 s of traffic over the rhomboid, primary
@@ -69,6 +75,7 @@ struct ScenarioOutcome {
 /// alarm carried over a lossy MP link with the given retransmission
 /// policy, echo probes watching the top switch's wire channel.
 fn run_scenario(seed: u64, backoff: BackoffConfig) -> ScenarioOutcome {
+    let registry = mdn_obs::Registry::new();
     let total = Duration::from_secs(10);
     let fail_at = Duration::from_secs(3);
 
@@ -109,8 +116,10 @@ fn run_scenario(seed: u64, backoff: BackoffConfig) -> ScenarioOutcome {
             .mic_dead(TimeWindow::new(MS(1000), MS(1600)))
             .noise_burst(TimeWindow::new(MS(2000), MS(2400)), 35.0),
     );
+    scene.attach_obs(&registry);
     let pi_speaker = Speaker::cheap();
     let mut ctl = MdnController::new(Microphone::measurement(), Pos::new(0.5, 0.3, 0.0));
+    ctl.attach_obs(&registry);
     ctl.bind_device("s_in", set);
 
     // The lossy switch → Pi alarm path and its ARQ endpoints.
@@ -120,15 +129,20 @@ fn run_scenario(seed: u64, backoff: BackoffConfig) -> ScenarioOutcome {
         DirectionFaults::none().drop(0.3),
     );
     let mut endpoint = MpEndpoint::new(backoff);
+    endpoint.attach_obs(&registry);
     let mut receiver = MpReceiver::new();
 
     // Echo probing of s_top's wire channel (serviced only while the top
     // link is up — its control path rides the same fiber).
     let mut echo_chan = ControlChannel::new();
+    echo_chan.attach_obs(&registry);
     let mut monitor = EchoMonitor::new(MS(600), MS(900), 2);
+    monitor.attach_obs(&registry);
 
-    // The controller's FlowMod channel to s_in.
+    // The controller's FlowMod channel to s_in (the two channels share
+    // the registry's aggregate channel counters).
     let mut ctl_chan = ControlChannel::new();
+    ctl_chan.attach_obs(&registry);
 
     let mut at = TICK;
     while at <= total {
@@ -215,6 +229,8 @@ fn run_scenario(seed: u64, backoff: BackoffConfig) -> ScenarioOutcome {
         mp_link.tick();
     }
     net.drain();
+    net.publish_obs(&registry);
+    let snap = registry.snapshot();
 
     let (forward_faults, reverse_faults) = mp_link.fault_stats();
     ScenarioOutcome {
@@ -237,6 +253,9 @@ fn run_scenario(seed: u64, backoff: BackoffConfig) -> ScenarioOutcome {
             .rx_bytes_between(MS(4000), rerouted_at.unwrap_or(total)),
         bytes_tail: net.host(topo.h_dst).rx_bytes_between(MS(9000), MS(10_000)),
         bot_rx_packets: net.switch(topo.s_bot).rx_packets,
+        obs_counters: snap.counters,
+        obs_gauges: snap.gauges,
+        obs_journal: snap.journal,
     }
 }
 
@@ -323,11 +342,76 @@ fn without_retransmission_the_same_chaos_is_fatal() {
 }
 
 /// Same seed, same everything: the whole outcome — delivery statistics,
-/// fault accounting, health timeline, traffic byte counts — is identical
-/// across runs.
+/// fault accounting, health timeline, traffic byte counts, and the
+/// deterministic parts of the obs snapshot — is identical across runs.
 #[test]
 fn chaos_scenario_is_deterministic() {
     let a = run_scenario(SEED, BackoffConfig::default());
     let b = run_scenario(SEED, BackoffConfig::default());
     assert_eq!(a, b);
+}
+
+/// The obs registry is a second witness of the whole run: its counters
+/// must agree exactly with the components' own ground-truth statistics,
+/// and the journal must replay the health timeline.
+#[test]
+fn obs_snapshot_matches_ground_truth() {
+    let out = run_scenario(SEED, BackoffConfig::default());
+    let c = &out.obs_counters;
+
+    // MP delivery: the obs mirror and MpDeliveryStats are two separate
+    // code paths; they must agree sample for sample.
+    assert_eq!(c["mdn_mp_sent_total"], out.delivery.sent);
+    assert_eq!(c["mdn_mp_retransmitted_total"], out.delivery.retransmitted);
+    assert_eq!(c["mdn_mp_acked_total"], out.delivery.acked);
+    assert_eq!(c["mdn_mp_expired_total"], out.delivery.expired);
+
+    // Echo probing of the dying wire channel.
+    assert_eq!(c["mdn_echo_timeouts_total"], out.echo_timeouts);
+    assert_eq!(out.obs_gauges["mdn_echo_alive"], 0.0, "wire declared dead");
+
+    // Health: every transition in the returned timelines is counted, and
+    // the journal replays s_in's ladder in order.
+    let journal_transitions: Vec<&mdn_obs::JournalEvent> = out
+        .obs_journal
+        .iter()
+        .filter(|e| e.kind == "health.transition")
+        .collect();
+    assert_eq!(
+        c["mdn_health_transitions_total"],
+        journal_transitions.len() as u64,
+        "every counted transition is journaled (ring never overflowed)"
+    );
+    let s_in_journal: Vec<(Duration, String)> = journal_transitions
+        .iter()
+        .filter(|e| e.detail.starts_with("s_in:"))
+        .map(|e| (e.at, e.detail.clone()))
+        .collect();
+    assert_eq!(s_in_journal.len(), out.s_in_timeline.len());
+    for ((at, detail), (t, state)) in s_in_journal.iter().zip(&out.s_in_timeline) {
+        assert_eq!(at, t);
+        assert!(
+            detail.ends_with(&format!("-> {state:?}")),
+            "journal {detail:?} vs timeline {state:?}"
+        );
+    }
+    assert!(c["mdn_health_quarantines_total"] >= 1, "s_top never quarantined");
+
+    // The detector ran every tick and decoded the alarm.
+    assert!(c["mdn_detect_frames_total"] > 0);
+    assert!(c["mdn_events_decoded_total"] > 0, "alarm events never counted");
+
+    // Scene: the Pi's alarm emissions and both injected acoustic faults.
+    assert!(c["mdn_scene_emissions_total"] >= 1);
+    assert!(c["mdn_scene_noise_bursts_total"] >= 1);
+    assert!(c["mdn_scene_mic_dead_windows_total"] >= 1);
+
+    // Network totals published at the end of the run: traffic flowed, the
+    // dead primary link ate packets, and per-queue stats are exported.
+    assert!(out.obs_gauges["mdn_net_delivered"] > 0.0);
+    assert!(out.obs_gauges["mdn_net_link_drops"] > 0.0, "dead link dropped nothing?");
+    assert!(
+        out.obs_gauges.keys().any(|k| k.starts_with("mdn_queue_accepted")),
+        "no per-queue stats in the snapshot"
+    );
 }

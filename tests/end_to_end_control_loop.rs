@@ -177,13 +177,13 @@ fn malformed_control_frames_are_counted_and_do_not_block_valid_ones() {
         action: Action::Forward(1),
     });
     assert_eq!(pump_to_switch(&mut chan, &mut net, topo.s1), 1);
-    assert_eq!(chan.malformed_to_switch, 2);
-    assert_eq!(chan.malformed_to_controller, 0);
+    assert_eq!(chan.stats().malformed_to_switch, 2);
+    assert_eq!(chan.stats().malformed_to_controller, 0);
     net.drain();
     assert_eq!(net.host(topo.h2).rx_packets, 100, "valid FlowMod still applied");
 
     // The reverse direction counts independently.
     chan.inject_to_controller(Bytes::from_static(&[0xff]));
     assert!(matches!(chan.recv_at_controller(), Some(Err(_))));
-    assert_eq!(chan.malformed_to_controller, 1);
+    assert_eq!(chan.stats().malformed_to_controller, 1);
 }
