@@ -78,6 +78,29 @@ pub fn propagation_delay_s(distance: f64) -> f64 {
     distance.max(0.0) / SPEED_OF_SOUND
 }
 
+/// Amplitude a source of peak amplitude `source_amplitude` (referenced to
+/// [`REFERENCE_DISTANCE`]) presents at `distance` metres under the
+/// spreading law alone — the exact attenuation the scene renderer applies
+/// to emissions, so cross-cell interference bounds computed with this
+/// query hold for rendered audio, not just on paper.
+#[inline]
+pub fn incident_amplitude(source_amplitude: f64, distance: f64) -> f64 {
+    source_amplitude * spreading_gain(distance)
+}
+
+/// Inverse of [`incident_amplitude`]: the distance beyond which a source
+/// of peak amplitude `source_amplitude` lands below `threshold` — the
+/// *reuse distance* for spatial frequency reuse across acoustic cells.
+/// Two cells may share a tone slot when they are farther apart than this.
+///
+/// # Panics
+/// Panics unless `threshold` is positive.
+#[inline]
+pub fn reuse_distance(source_amplitude: f64, threshold: f64) -> f64 {
+    assert!(threshold > 0.0, "reuse threshold must be positive");
+    (source_amplitude * REFERENCE_DISTANCE / threshold).max(NEAR_FIELD_LIMIT)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,5 +152,35 @@ mod tests {
         let g = propagation_gain(5.0, 8_000.0);
         assert!(g <= spreading_gain(5.0));
         assert!(g > 0.0);
+    }
+
+    #[test]
+    fn incident_amplitude_matches_spreading_law() {
+        assert!((incident_amplitude(0.02, 1.0) - 0.02).abs() < 1e-15);
+        assert!((incident_amplitude(0.02, 4.0) - 0.005).abs() < 1e-15);
+    }
+
+    #[test]
+    fn reuse_distance_inverts_incident_amplitude() {
+        let amp = 0.0178; // a 65 dB SPL source
+        let thr = 4e-3;
+        let d = reuse_distance(amp, thr);
+        // Just past the reuse distance the tone is below threshold; just
+        // inside it, above.
+        assert!(incident_amplitude(amp, d * 1.001) < thr);
+        assert!(incident_amplitude(amp, d * 0.999) > thr);
+    }
+
+    #[test]
+    fn reuse_distance_clamps_to_near_field() {
+        // A whisper against a huge threshold never needs more than the
+        // near-field limit of separation.
+        assert_eq!(reuse_distance(1e-6, 1.0), NEAR_FIELD_LIMIT);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn reuse_distance_rejects_zero_threshold() {
+        reuse_distance(0.02, 0.0);
     }
 }

@@ -8,7 +8,7 @@
 
 use crate::ambient::AmbientProfile;
 use crate::faults::SceneFaultPlan;
-use crate::medium::{propagation_delay_s, spreading_gain, Pos};
+use crate::medium::{incident_amplitude, propagation_delay_s, spreading_gain, Pos};
 use crate::mic::Microphone;
 use mdn_audio::signal::{duration_to_samples, spl_to_amplitude};
 use mdn_audio::Signal;
@@ -292,6 +292,19 @@ impl Scene {
     pub fn capture(&self, mic: &Microphone, at: Pos, duration: Duration) -> Signal {
         mic.capture(&self.render_at(at, duration))
     }
+
+    /// Worst-case peak amplitude this scene's emissions can present at
+    /// `listener`, excluding ambient: each emission's peak scaled by the
+    /// same spreading law the renderer applies, summed coherently (as if
+    /// every source lined up in phase). The render at `listener` can never
+    /// exceed this bound plus the ambient bed — the cross-cell
+    /// interference query the acoustic-cell planner builds on.
+    pub fn incident_peak_at(&self, listener: Pos) -> f64 {
+        self.emissions
+            .iter()
+            .map(|e| incident_amplitude(e.signal.peak(), e.pos.distance(&listener)))
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -564,5 +577,36 @@ mod tests {
         let ra = a.render_at(Pos::ORIGIN, Duration::from_millis(50));
         let rb = b.render_at(Pos::ORIGIN, Duration::from_millis(50));
         assert_ne!(ra.samples(), rb.samples());
+    }
+
+    #[test]
+    fn incident_peak_bounds_the_render() {
+        let mut scene = Scene::quiet(SR);
+        scene.add(Pos::ORIGIN, Duration::ZERO, tone(1000.0, 300, 60.0), "a");
+        scene.add(Pos::new(3.0, 0.0, 0.0), Duration::ZERO, tone(1100.0, 300, 60.0), "b");
+        let listener = Pos::new(1.0, 0.5, 0.0);
+        let bound = scene.incident_peak_at(listener);
+        let out = scene.render_at(listener, Duration::from_millis(300));
+        // Coherent-sum bound plus a small ambient allowance covers the
+        // rendered peak.
+        assert!(
+            out.peak() <= bound + spl_to_amplitude(30.0),
+            "render peak {} exceeds bound {}",
+            out.peak(),
+            bound
+        );
+        // And the bound is tight for a single nearby source: within 2× of
+        // the actual peak (ambient and the second, farther source are the
+        // slack).
+        assert!(bound < 2.5 * out.peak(), "bound {bound} is vacuous");
+    }
+
+    #[test]
+    fn incident_peak_follows_inverse_distance() {
+        let mut scene = Scene::quiet(SR);
+        scene.add(Pos::ORIGIN, Duration::ZERO, tone(1000.0, 100, 60.0), "a");
+        let near = scene.incident_peak_at(Pos::new(1.0, 0.0, 0.0));
+        let far = scene.incident_peak_at(Pos::new(4.0, 0.0, 0.0));
+        assert!((near / far - 4.0).abs() < 1e-9, "near {near} far {far}");
     }
 }

@@ -1,0 +1,195 @@
+//! Multi-cell scale sweep: switches vs. detection accuracy and wall-clock
+//! at 1/2/4/8 cells (the ISSUE's scale-out claim, quantified).
+//!
+//! Each configuration plans a cell grid with the default rack-row
+//! geometry, has *every* switch sound one slot simultaneously over an
+//! office ambient bed, then times `ShardedController::listen` at 1 worker
+//! and at machine parallelism, checking the decoded `(cell, device,
+//! slot)` set against ground truth. Writes `BENCH_scale.json` at the
+//! workspace root.
+//!
+//! `cargo bench -p mdn-bench --bench scale -- --test` runs one smoke pass
+//! (accuracy still asserted) and skips the JSON (CI uses this).
+
+use mdn_acoustics::ambient::AmbientProfile;
+use mdn_acoustics::scene::Scene;
+use mdn_core::cells::{CellConfig, CellPlan, ShardedController};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const SR: u32 = 44_100;
+const CELL_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct CellRun {
+    scene: Scene,
+    plan: CellPlan,
+    expected: BTreeSet<(usize, String, usize)>,
+}
+
+/// Plan `cells` cells and sound every switch once, simultaneously, at
+/// 400 ms (the first 300 ms stay tone-free for calibration).
+fn build(cells: usize) -> CellRun {
+    let plan = CellPlan::plan(cells, &[AmbientProfile::office()], CellConfig::default())
+        .expect("bench cell plan");
+    let mut scene = Scene::new(SR, AmbientProfile::office());
+    scene.set_ambient_seed(42);
+    let mut expected = BTreeSet::new();
+    for (c, mut devs) in plan.sounding_devices().into_iter().enumerate() {
+        let slot = c % plan.config().slots_per_switch;
+        for dev in devs.iter_mut() {
+            dev.emit_slot(
+                &mut scene,
+                slot,
+                Duration::from_millis(400),
+                Duration::from_millis(150),
+            )
+            .expect("emit");
+            expected.insert((c, dev.name.clone(), slot));
+        }
+    }
+    CellRun {
+        scene,
+        plan,
+        expected,
+    }
+}
+
+fn listen(run: &CellRun, threads: usize) -> Vec<mdn_core::cells::CellEvent> {
+    let mut sharded = ShardedController::new(&run.plan);
+    sharded.set_threads(threads);
+    sharded.calibrate(&run.scene, Duration::ZERO, Duration::from_millis(300));
+    sharded.listen(
+        &run.scene,
+        Duration::from_millis(350),
+        Duration::from_millis(350),
+    )
+}
+
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Median of per-pair time ratios between two interleaved closures (host
+/// drift cancels; the median discards outlier reps).
+fn paired_ratio<N: FnMut(), D: FnMut()>(pairs: usize, mut num: N, mut den: D) -> f64 {
+    let mut ratios = Vec::with_capacity(pairs);
+    for _ in 0..pairs {
+        let t = Instant::now();
+        num();
+        let n = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        den();
+        ratios.push(n / t.elapsed().as_secs_f64());
+    }
+    ratios.sort_by(f64::total_cmp);
+    ratios[ratios.len() / 2]
+}
+
+#[derive(serde::Serialize)]
+struct Row {
+    cells: usize,
+    switches: usize,
+    colors: usize,
+    reuse_factor: f64,
+    expected: usize,
+    decoded: usize,
+    false_events: usize,
+    accuracy: f64,
+    threads: usize,
+    listen_ms: f64,
+}
+
+fn sweep_and_report(smoke: bool) {
+    let reps = if smoke { 1 } else { 3 };
+    let mut rows: Vec<Row> = Vec::new();
+    let mut min_accuracy = f64::INFINITY;
+    let mut speedup_8c = None;
+    let mut eight = (0usize, 0f64); // (switches, reuse) at 8 cells
+    for &cells in &CELL_COUNTS {
+        let run = build(cells);
+        for &threads in &[1usize, 0] {
+            let events = listen(&run, threads);
+            let heard: BTreeSet<(usize, String, usize)> = events
+                .iter()
+                .map(|e| (e.cell, e.event.device.clone(), e.event.slot))
+                .collect();
+            let decoded = heard.intersection(&run.expected).count();
+            let false_events = heard.difference(&run.expected).count();
+            let accuracy = decoded as f64 / run.expected.len() as f64;
+            assert_eq!(
+                accuracy, 1.0,
+                "{cells} cells, {threads} threads: missed {} of {} tones",
+                run.expected.len() - decoded,
+                run.expected.len()
+            );
+            assert_eq!(false_events, 0, "{cells} cells: phantom attributions");
+            min_accuracy = min_accuracy.min(accuracy);
+            let listen_ms = best_of(reps, || {
+                black_box(listen(&run, threads));
+            });
+            rows.push(Row {
+                cells,
+                switches: run.plan.total_switches(),
+                colors: run.plan.colors(),
+                reuse_factor: run.plan.reuse_factor(),
+                expected: run.expected.len(),
+                decoded,
+                false_events,
+                accuracy,
+                threads,
+                listen_ms,
+            });
+        }
+        if cells == 8 {
+            eight = (run.plan.total_switches(), run.plan.reuse_factor());
+            let pairs = if smoke { 1 } else { 7 };
+            speedup_8c = Some(paired_ratio(
+                pairs,
+                || {
+                    black_box(listen(&run, 1));
+                },
+                || {
+                    black_box(listen(&run, 0));
+                },
+            ));
+        }
+    }
+    if smoke {
+        eprintln!(
+            "scale sweep smoke: {} rows timed, accuracy 1.0 throughout",
+            rows.len()
+        );
+        return;
+    }
+    let summary = serde_json::json!({
+        "bench": "scale",
+        "unit": "milliseconds (best of 3)",
+        "host_parallelism": std::thread::available_parallelism().map_or(1, |n| n.get()),
+        "sample_rate": SR,
+        "cell_counts": CELL_COUNTS,
+        "switches_at_8_cells": eight.0,
+        "reuse_factor_8_cells": eight.1,
+        "min_accuracy": min_accuracy,
+        "shard_parallel_speedup_8c": speedup_8c,
+        "rows": rows,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+    std::fs::write(path, serde_json::to_string_pretty(&summary).unwrap() + "\n")
+        .expect("write BENCH_scale.json");
+    if let Some(s) = speedup_8c {
+        eprintln!("scale: sequential / parallel shard listen at 8 cells = {s:.2}×");
+    }
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    sweep_and_report(smoke);
+}

@@ -1,0 +1,853 @@
+//! Acoustic cells: spatial frequency reuse past the single-mic ceiling.
+//!
+//! §5 of the paper bounds one microphone to "up to 1000 distinct
+//! frequencies played simultaneously" — a few dozen switches at realistic
+//! per-switch sets. Sound attenuates as `1/r`, so the same trick cellular
+//! radio uses applies: partition the datacenter into **cells** along the
+//! rack rows, give each cell its own microphone and controller, and reuse
+//! tone slots between cells far enough apart that the foreign tone lands
+//! below the local detector's magnitude floor.
+//!
+//! The [`CellPlan`] colors cells with `k` sub-bands of the audible plan
+//! (cell `c` → color `c mod k`); same-color cells share identical
+//! frequencies, so total distinct slots consumed is `k × per-cell slots`
+//! and the **reuse factor** is `cells / k`. Legality is a worst-case
+//! interference bound, not a hope: for every cell and every reused
+//! frequency, the *coherent sum* of all same-color foreign emitters at
+//! that frequency — attenuated by the same spreading law the renderer
+//! applies — must stay under the cell's detection threshold with a safety
+//! margin. Within a cell slot sets are disjoint, so at most one switch
+//! per foreign cell can sound any given frequency; that is what makes the
+//! bound finite and the scheme work. [`CellPlan::verify_reuse`] replays
+//! the worst case through the real render → microphone → detector
+//! pipeline and fails if a single foreign tone is attributed locally.
+//!
+//! The [`ShardedController`] owns one [`MdnController`] + microphone per
+//! cell, renders/detects cells in parallel with `std::thread::scope`
+//! (mirroring `Scene::render_at`: pre-sized per-cell output slots, so the
+//! merged stream is bit-identical for any thread count), and merges
+//! per-cell observations into one [`CellEvent`] stream.
+
+use crate::controller::{merge_event_streams, MdnController, MdnEvent};
+use crate::detector::DetectorConfig;
+use crate::encoder::SoundingDevice;
+use crate::freqplan::{FrequencyPlan, FrequencySet};
+use mdn_acoustics::ambient::AmbientProfile;
+use mdn_acoustics::medium::incident_amplitude;
+use mdn_acoustics::medium::Pos;
+use mdn_acoustics::mic::Microphone;
+use mdn_acoustics::scene::Scene;
+use mdn_audio::signal::spl_to_amplitude;
+use mdn_obs::{Counter, Registry};
+use std::fmt;
+use std::time::Duration;
+
+/// Nominal analysis bandwidth the ambient-floor estimate spreads noise
+/// power across. Broadband ambient at RMS amplitude `A` leaks roughly
+/// `A·√(slot spacing / bandwidth)` into one detector bin.
+const AMBIENT_BANDWIDTH_HZ: f64 = 20_000.0;
+
+/// Multiplier applied to the per-bin ambient leakage when deriving a
+/// cell's magnitude threshold — mirrors the detector's default SNR gate.
+const AMBIENT_SNR: f64 = 3.0;
+
+/// Geometry and detection parameters for planning a cell grid.
+///
+/// Defaults model the paper's testbed scaled out: racks 0.4 m apart in a
+/// row, one measurement mic per cell hovering over the row centre, cells
+/// pitched 6.5 m apart along the row, sources at the Music Protocol's
+/// 65 dB SPL, and a raised per-cell magnitude floor (4×10⁻³ linear) that
+/// foreign reuse must stay under with a 1.5× margin.
+#[derive(Debug, Clone)]
+pub struct CellConfig {
+    /// Switches in each cell's rack row.
+    pub switches_per_cell: usize,
+    /// Tone slots allocated to each switch.
+    pub slots_per_switch: usize,
+    /// Spacing between adjacent switches in a row, metres.
+    pub rack_spacing_m: f64,
+    /// Microphone height above the row, metres.
+    pub mic_height_m: f64,
+    /// Distance between the origins of adjacent cells, metres.
+    pub cell_pitch_m: f64,
+    /// Number of reuse colors (sub-bands); `0` lets the planner pick the
+    /// smallest color count whose interference bound holds.
+    pub colors: usize,
+    /// Per-cell detector magnitude floor (linear amplitude). Raised from
+    /// the single-cell default so reuse distances stay practical; local
+    /// tones at ≤ ~1.5 m clear it by a wide margin.
+    pub detector_floor: f64,
+    /// Source level of every switch speaker, dB SPL at 1 m.
+    pub source_level_db: f64,
+    /// Safety factor the worst-case interference must clear the threshold
+    /// by (≥ 1).
+    pub safety_margin: f64,
+}
+
+impl Default for CellConfig {
+    fn default() -> Self {
+        Self {
+            switches_per_cell: 6,
+            slots_per_switch: 8,
+            rack_spacing_m: 0.4,
+            mic_height_m: 0.6,
+            cell_pitch_m: 6.5,
+            colors: 0,
+            detector_floor: 4e-3,
+            source_level_db: crate::encoder::DEFAULT_LEVEL_DB,
+            safety_margin: 1.5,
+        }
+    }
+}
+
+/// Why a cell plan could not be built or verified.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellPlanError {
+    /// A parameter was out of range.
+    BadConfig(String),
+    /// The base band cannot hold `colors × per-cell slots`.
+    Capacity {
+        /// Colors the allocation needed.
+        colors: usize,
+        /// Slots needed across all colors.
+        needed: usize,
+        /// Slots the base plan has.
+        capacity: usize,
+    },
+    /// No legal coloring: even at the reported color count, some cell's
+    /// worst-case foreign interference breaches its threshold budget.
+    ReuseUnsafe {
+        /// The violating cell.
+        cell: usize,
+        /// Worst-case coherent foreign amplitude at that cell's mic.
+        interference: f64,
+        /// The budget it had to stay under (`threshold / margin`).
+        budget: f64,
+    },
+    /// `verify_reuse` caught the real detector attributing a foreign
+    /// reused tone to a local switch.
+    DetectorLeak {
+        /// The cell whose controller mis-attributed.
+        cell: usize,
+        /// The local device it blamed.
+        device: String,
+        /// The device-local slot.
+        slot: usize,
+        /// The measured magnitude.
+        magnitude: f64,
+    },
+}
+
+impl fmt::Display for CellPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellPlanError::BadConfig(msg) => write!(f, "bad cell config: {msg}"),
+            CellPlanError::Capacity {
+                colors,
+                needed,
+                capacity,
+            } => write!(
+                f,
+                "band exhausted: {colors} colors need {needed} slots, base plan has {capacity}"
+            ),
+            CellPlanError::ReuseUnsafe {
+                cell,
+                interference,
+                budget,
+            } => write!(
+                f,
+                "reuse unsafe at cell {cell}: worst-case foreign amplitude {interference:.2e} \
+                 exceeds budget {budget:.2e}"
+            ),
+            CellPlanError::DetectorLeak {
+                cell,
+                device,
+                slot,
+                magnitude,
+            } => write!(
+                f,
+                "detector leak at cell {cell}: foreign tone attributed to {device} slot {slot} \
+                 at magnitude {magnitude:.2e}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CellPlanError {}
+
+/// One planned acoustic cell: geometry, ambient, threshold, and the
+/// frequency sets of its switches.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Cell index (0-based along the row of cells).
+    pub id: usize,
+    /// Reuse color (`id mod colors`); same-color cells share frequencies.
+    pub color: usize,
+    /// Switch positions, one per switch in rack-row order.
+    pub switch_pos: Vec<Pos>,
+    /// The cell microphone's position (over the row centre).
+    pub mic_pos: Pos,
+    /// The cell's ambient profile, used both for threshold derivation and
+    /// for synthetic verification scenes.
+    pub ambient: AmbientProfile,
+    /// Detector magnitude floor for this cell (linear amplitude): the
+    /// configured floor raised, if necessary, above the ambient bed's
+    /// per-bin leakage.
+    pub threshold: f64,
+    /// Worst-case coherent foreign amplitude at this cell's mic over all
+    /// reused frequencies (same-color cells summed, nearest-switch case).
+    pub worst_interference: f64,
+    /// The switch index whose reused frequencies realise
+    /// `worst_interference` — the slot `verify_reuse` attacks.
+    pub worst_switch: usize,
+    /// Per-switch frequency sets; same-color cells hold identical `freqs`.
+    pub sets: Vec<FrequencySet>,
+    /// Globally unique device names, parallel to `sets` (`c<id>-s<j>`).
+    pub device_names: Vec<String>,
+}
+
+/// A planned multi-cell deployment: geometry, coloring, and per-cell
+/// frequency allocations with a proven interference bound.
+///
+/// ```
+/// use mdn_core::cells::{CellConfig, CellPlan};
+/// use mdn_acoustics::ambient::AmbientProfile;
+///
+/// let plan = CellPlan::plan(20, &[AmbientProfile::office()], CellConfig::default()).unwrap();
+/// assert!(plan.total_switches() >= 100);
+/// assert!(plan.reuse_factor() >= 4.0); // same tones live in ≥4 cells
+/// ```
+#[derive(Debug, Clone)]
+pub struct CellPlan {
+    cells: Vec<Cell>,
+    colors: usize,
+    cfg: CellConfig,
+    source_amplitude: f64,
+}
+
+/// Per-bin amplitude the ambient bed leaks into one detector slot.
+fn ambient_slot_floor(ambient: &AmbientProfile, spacing_hz: f64) -> f64 {
+    spl_to_amplitude(ambient.level_spl) * (spacing_hz / AMBIENT_BANDWIDTH_HZ).sqrt()
+}
+
+impl CellPlan {
+    /// Plan `num_cells` cells over the audible band. `ambients` is cycled
+    /// across cells (`ambients[c mod len]`), so one entry means a uniform
+    /// room and `num_cells` entries give per-cell profiles.
+    ///
+    /// The planner searches color counts `k = 1, 2, …` (unless
+    /// `cfg.colors` pins one) and takes the smallest `k` — the highest
+    /// reuse — for which every cell's worst-case foreign interference,
+    /// scaled by `cfg.safety_margin`, stays under the cell's threshold.
+    pub fn plan(
+        num_cells: usize,
+        ambients: &[AmbientProfile],
+        cfg: CellConfig,
+    ) -> Result<Self, CellPlanError> {
+        Self::validate(num_cells, ambients, &cfg)?;
+        let base = FrequencyPlan::audible_default();
+        let per_cell = cfg.switches_per_cell * cfg.slots_per_switch;
+        let max_colors = base.capacity() / per_cell;
+        if max_colors == 0 {
+            return Err(CellPlanError::Capacity {
+                colors: 1,
+                needed: per_cell,
+                capacity: base.capacity(),
+            });
+        }
+
+        let source_amplitude = spl_to_amplitude(cfg.source_level_db);
+        let mic_pos: Vec<Pos> = (0..num_cells).map(|c| Self::mic_pos(c, &cfg)).collect();
+        let thresholds: Vec<f64> = (0..num_cells)
+            .map(|c| {
+                let ambient = &ambients[c % ambients.len()];
+                cfg.detector_floor
+                    .max(AMBIENT_SNR * ambient_slot_floor(ambient, base.spacing_hz()))
+            })
+            .collect();
+
+        // Worst-case interference at cell `c` for color count `k`: over
+        // reused frequencies — i.e. over switch indices `j`, since slot
+        // sets within a cell are disjoint and switch `j` owns the same
+        // frequencies in every same-color cell — sum the closest-incidence
+        // amplitude from each same-color foreign cell coherently.
+        let interference = |c: usize, k: usize| -> (f64, usize) {
+            let mut worst = (0.0f64, 0usize);
+            for j in 0..cfg.switches_per_cell {
+                let mut sum = 0.0;
+                for d in 0..num_cells {
+                    if d == c || d % k != c % k {
+                        continue;
+                    }
+                    let dist = mic_pos[c].distance(&Self::switch_pos(d, j, &cfg));
+                    sum += incident_amplitude(source_amplitude, dist);
+                }
+                if sum > worst.0 {
+                    worst = (sum, j);
+                }
+            }
+            worst
+        };
+
+        let legal = |k: usize| -> Result<(), CellPlanError> {
+            for (c, threshold) in thresholds.iter().enumerate() {
+                let (w, _) = interference(c, k);
+                let budget = threshold / cfg.safety_margin;
+                if w > budget {
+                    return Err(CellPlanError::ReuseUnsafe {
+                        cell: c,
+                        interference: w,
+                        budget,
+                    });
+                }
+            }
+            Ok(())
+        };
+
+        let colors = if cfg.colors > 0 {
+            if cfg.colors > max_colors {
+                return Err(CellPlanError::Capacity {
+                    colors: cfg.colors,
+                    needed: cfg.colors * per_cell,
+                    capacity: base.capacity(),
+                });
+            }
+            legal(cfg.colors)?;
+            cfg.colors
+        } else {
+            let upper = max_colors.min(num_cells);
+            let mut found = None;
+            let mut last_err = None;
+            for k in 1..=upper {
+                match legal(k) {
+                    Ok(()) => {
+                        found = Some(k);
+                        break;
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            match found {
+                Some(k) => k,
+                None => {
+                    return Err(last_err.unwrap_or(CellPlanError::Capacity {
+                        colors: upper,
+                        needed: upper * per_cell,
+                        capacity: base.capacity(),
+                    }))
+                }
+            }
+        };
+
+        let cells = (0..num_cells)
+            .map(|c| {
+                let color = c % colors;
+                // A fresh copy of the color's sub-band per cell: same
+                // frequencies for same-color cells, globally unique names.
+                let mut sub = base.subband(color, colors);
+                let mut sets = Vec::with_capacity(cfg.switches_per_cell);
+                let mut device_names = Vec::with_capacity(cfg.switches_per_cell);
+                for j in 0..cfg.switches_per_cell {
+                    let name = format!("c{c}-s{j}");
+                    let set = sub
+                        .allocate(&name, cfg.slots_per_switch)
+                        .map_err(|_| CellPlanError::Capacity {
+                            colors,
+                            needed: colors * per_cell,
+                            capacity: base.capacity(),
+                        })?;
+                    sets.push(set);
+                    device_names.push(name);
+                }
+                let (worst_interference, worst_switch) = interference(c, colors);
+                Ok(Cell {
+                    id: c,
+                    color,
+                    switch_pos: (0..cfg.switches_per_cell)
+                        .map(|j| Self::switch_pos(c, j, &cfg))
+                        .collect(),
+                    mic_pos: mic_pos[c],
+                    ambient: ambients[c % ambients.len()].clone(),
+                    threshold: thresholds[c],
+                    worst_interference,
+                    worst_switch,
+                    sets,
+                    device_names,
+                })
+            })
+            .collect::<Result<Vec<_>, CellPlanError>>()?;
+
+        Ok(Self {
+            cells,
+            colors,
+            cfg,
+            source_amplitude,
+        })
+    }
+
+    fn validate(
+        num_cells: usize,
+        ambients: &[AmbientProfile],
+        cfg: &CellConfig,
+    ) -> Result<(), CellPlanError> {
+        let bad = |msg: &str| Err(CellPlanError::BadConfig(msg.into()));
+        if num_cells == 0 {
+            return bad("need at least one cell");
+        }
+        if ambients.is_empty() {
+            return bad("need at least one ambient profile");
+        }
+        if cfg.switches_per_cell == 0 || cfg.slots_per_switch == 0 {
+            return bad("switches_per_cell and slots_per_switch must be non-zero");
+        }
+        if !(cfg.rack_spacing_m > 0.0 && cfg.cell_pitch_m > 0.0 && cfg.mic_height_m > 0.0) {
+            return bad("geometry distances must be positive");
+        }
+        if cfg.cell_pitch_m <= cfg.rack_spacing_m * (cfg.switches_per_cell - 1) as f64 {
+            return bad("cell pitch must exceed the rack row length");
+        }
+        if cfg.detector_floor <= 0.0 {
+            return bad("detector floor must be positive");
+        }
+        if cfg.safety_margin < 1.0 {
+            return bad("safety margin must be at least 1");
+        }
+        Ok(())
+    }
+
+    /// Switch `j` of cell `c` sits in the cell's rack row.
+    fn switch_pos(c: usize, j: usize, cfg: &CellConfig) -> Pos {
+        Pos::new(
+            c as f64 * cfg.cell_pitch_m + j as f64 * cfg.rack_spacing_m,
+            0.0,
+            0.0,
+        )
+    }
+
+    /// The cell mic hovers over the row centre.
+    fn mic_pos(c: usize, cfg: &CellConfig) -> Pos {
+        let half_row = cfg.rack_spacing_m * (cfg.switches_per_cell - 1) as f64 / 2.0;
+        Pos::new(
+            c as f64 * cfg.cell_pitch_m + half_row,
+            cfg.mic_height_m,
+            0.0,
+        )
+    }
+
+    /// The planned cells, in id order.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Number of reuse colors (distinct sub-bands in use).
+    pub fn colors(&self) -> usize {
+        self.colors
+    }
+
+    /// How many cells share each set of frequencies on average — the
+    /// scale-out multiplier over a flat plan.
+    pub fn reuse_factor(&self) -> f64 {
+        self.cells.len() as f64 / self.colors as f64
+    }
+
+    /// Total switches across all cells.
+    pub fn total_switches(&self) -> usize {
+        self.cells.len() * self.cfg.switches_per_cell
+    }
+
+    /// Distinct tone slots the deployment consumes from the base band
+    /// (reused slots counted once).
+    pub fn distinct_slots(&self) -> usize {
+        self.colors * self.cfg.switches_per_cell * self.cfg.slots_per_switch
+    }
+
+    /// Slots a flat (no-reuse) plan would need for the same deployment.
+    pub fn flat_slots(&self) -> usize {
+        self.total_switches() * self.cfg.slots_per_switch
+    }
+
+    /// The configuration the plan was built from.
+    pub fn config(&self) -> &CellConfig {
+        &self.cfg
+    }
+
+    /// Peak amplitude of each switch speaker at 1 m (linear).
+    pub fn source_amplitude(&self) -> f64 {
+        self.source_amplitude
+    }
+
+    /// Sounding devices for every switch, grouped per cell, positioned on
+    /// the planned geometry and set to the planned source level.
+    pub fn sounding_devices(&self) -> Vec<Vec<SoundingDevice>> {
+        self.cells
+            .iter()
+            .map(|cell| {
+                cell.sets
+                    .iter()
+                    .zip(&cell.device_names)
+                    .zip(&cell.switch_pos)
+                    .map(|((set, name), &pos)| {
+                        let mut dev = SoundingDevice::new(name, set.clone(), pos);
+                        dev.level_db = self.cfg.source_level_db;
+                        dev
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The detector configuration cell `c`'s controller runs: defaults
+    /// with the magnitude floor raised to the cell's threshold.
+    pub fn detector_config(&self, c: usize) -> DetectorConfig {
+        DetectorConfig {
+            min_magnitude: self.cells[c].threshold,
+            ..DetectorConfig::default()
+        }
+    }
+
+    /// Build cell `c`'s controller: measurement mic at the planned
+    /// position, the cell's threshold, and its local devices bound.
+    pub fn controller_for(&self, c: usize) -> MdnController {
+        let cell = &self.cells[c];
+        let mut ctl = MdnController::new(Microphone::measurement(), cell.mic_pos);
+        ctl.set_config(self.detector_config(c));
+        for (name, set) in cell.device_names.iter().zip(&cell.sets) {
+            ctl.bind_device(name, set.clone());
+        }
+        ctl
+    }
+
+    /// Replay the analytic worst case through the real pipeline: for each
+    /// cell, every same-color foreign cell sounds the reused frequency
+    /// that lands hardest on this cell's mic — simultaneously, through
+    /// the full Music Protocol encode → speaker → air → microphone →
+    /// detector chain, over the cell's own ambient bed — while the local
+    /// cell stays silent. Any event the cell's controller attributes to a
+    /// local switch is a leak and fails the plan.
+    pub fn verify_reuse(&self, sample_rate: u32) -> Result<(), CellPlanError> {
+        for cell in &self.cells {
+            let j = cell.worst_switch;
+            let mut scene = Scene::new(sample_rate, cell.ambient.clone());
+            scene.set_ambient_seed(0xCE11 + cell.id as u64);
+            for foreign in &self.cells {
+                if foreign.id == cell.id || foreign.color != cell.color {
+                    continue;
+                }
+                let mut dev = SoundingDevice::new(
+                    &foreign.device_names[j],
+                    foreign.sets[j].clone(),
+                    foreign.switch_pos[j],
+                );
+                dev.level_db = self.cfg.source_level_db;
+                dev.emit_slot(
+                    &mut scene,
+                    0,
+                    Duration::from_millis(100),
+                    Duration::from_millis(200),
+                )
+                .expect("worst-case emission");
+            }
+            let ctl = self.controller_for(cell.id);
+            let events = ctl.listen(&scene, Duration::ZERO, Duration::from_millis(400));
+            if let Some(e) = events.first() {
+                return Err(CellPlanError::DetectorLeak {
+                    cell: cell.id,
+                    device: e.device.clone(),
+                    slot: e.slot,
+                    magnitude: e.magnitude,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An [`MdnEvent`] tagged with the cell whose controller decoded it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellEvent {
+    /// The decoding cell's id.
+    pub cell: usize,
+    /// The decoded event (device names are globally unique, so the pair
+    /// is unambiguous).
+    pub event: MdnEvent,
+}
+
+/// One controller + microphone per cell, listened in parallel, merged
+/// into a single deterministic event stream.
+#[derive(Debug)]
+pub struct ShardedController {
+    controllers: Vec<MdnController>,
+    reuse_factor: f64,
+    threads: usize,
+    obs_cell_events: Vec<Counter>,
+}
+
+impl ShardedController {
+    /// Controllers for every cell of `plan`.
+    pub fn new(plan: &CellPlan) -> Self {
+        let controllers = (0..plan.cells().len())
+            .map(|c| plan.controller_for(c))
+            .collect::<Vec<_>>();
+        let obs_cell_events = (0..controllers.len()).map(|_| Counter::disabled()).collect();
+        Self {
+            controllers,
+            reuse_factor: plan.reuse_factor(),
+            threads: 0,
+            obs_cell_events,
+        }
+    }
+
+    /// Number of cell shards.
+    pub fn num_cells(&self) -> usize {
+        self.controllers.len()
+    }
+
+    /// The per-cell controllers, in cell order.
+    pub fn controllers(&self) -> &[MdnController] {
+        &self.controllers
+    }
+
+    /// Mutable access to one cell's controller (calibration, health).
+    pub fn controller_mut(&mut self, cell: usize) -> &mut MdnController {
+        &mut self.controllers[cell]
+    }
+
+    /// Worker threads for [`ShardedController::listen`]: `0` sizes from
+    /// the machine, `1` forces sequential, `n` caps at `n`. The merged
+    /// stream is bit-identical for every setting.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// Register per-cell event counters
+    /// (`mdn_cell_events_total{cell="…"}`), the reuse-factor and
+    /// cell-count gauges, and every cell controller's own metrics.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        for (c, slot) in self.obs_cell_events.iter_mut().enumerate() {
+            *slot = registry.counter("mdn_cell_events_total", &[("cell", &c.to_string())]);
+        }
+        registry
+            .gauge("mdn_cells_reuse_factor", &[])
+            .set(self.reuse_factor);
+        registry
+            .gauge("mdn_cells_total", &[])
+            .set(self.controllers.len() as f64);
+        for ctl in &mut self.controllers {
+            ctl.attach_obs(registry);
+        }
+    }
+
+    /// Calibrate every cell's detector against an ambient-only window of
+    /// the scene (one containing no MDN tones).
+    pub fn calibrate(&mut self, scene: &Scene, from: Duration, len: Duration) {
+        for ctl in &mut self.controllers {
+            let ambient = ctl.capture(scene, from, len);
+            ctl.calibrate(&ambient);
+        }
+    }
+
+    /// Listen over `[from, from + len)` with every cell's controller and
+    /// merge the shards into one time-ordered, cell-attributed stream.
+    ///
+    /// Cells are captured/decoded in parallel (chunked over scoped
+    /// threads, each writing a pre-assigned output slot) and merged
+    /// sequentially by [`merge_event_streams`], so the result is
+    /// bit-identical for any thread count.
+    pub fn listen(&self, scene: &Scene, from: Duration, len: Duration) -> Vec<CellEvent> {
+        let n = self.controllers.len();
+        let mut per_cell: Vec<Vec<MdnEvent>> = Vec::with_capacity(n);
+        per_cell.resize_with(n, Vec::new);
+
+        let workers = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            self.threads
+        }
+        .clamp(1, n.max(1));
+
+        if workers <= 1 {
+            for (ctl, out) in self.controllers.iter().zip(per_cell.iter_mut()) {
+                *out = ctl.listen(scene, from, len);
+            }
+        } else {
+            let chunk = n.div_ceil(workers);
+            std::thread::scope(|s| {
+                for (ctls, outs) in self
+                    .controllers
+                    .chunks(chunk)
+                    .zip(per_cell.chunks_mut(chunk))
+                {
+                    s.spawn(move || {
+                        for (ctl, out) in ctls.iter().zip(outs.iter_mut()) {
+                            *out = ctl.listen(scene, from, len);
+                        }
+                    });
+                }
+            });
+        }
+
+        for (c, events) in per_cell.iter().enumerate() {
+            if !events.is_empty() {
+                self.obs_cell_events[c].add(events.len() as u64);
+            }
+        }
+
+        merge_event_streams(per_cell)
+            .into_iter()
+            .map(|(cell, event)| CellEvent { cell, event })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> CellConfig {
+        CellConfig {
+            switches_per_cell: 3,
+            slots_per_switch: 4,
+            ..CellConfig::default()
+        }
+    }
+
+    #[test]
+    fn default_plan_reaches_target_scale_and_reuse() {
+        let plan =
+            CellPlan::plan(20, &[AmbientProfile::office()], CellConfig::default()).unwrap();
+        assert_eq!(plan.total_switches(), 120);
+        assert!(plan.flat_slots() > FrequencyPlan::audible_default().capacity());
+        assert!(
+            plan.reuse_factor() >= 4.0,
+            "reuse only {}×",
+            plan.reuse_factor()
+        );
+        assert!(plan.distinct_slots() <= FrequencyPlan::audible_default().capacity());
+    }
+
+    #[test]
+    fn same_color_cells_share_frequencies_distinct_colors_are_disjoint() {
+        let plan = CellPlan::plan(8, &[AmbientProfile::quiet()], small_cfg()).unwrap();
+        let k = plan.colors();
+        assert!(k >= 2, "no reuse structure to test");
+        let cells = plan.cells();
+        let freqs = |c: usize| -> Vec<f64> {
+            cells[c].sets.iter().flat_map(|s| s.freqs.clone()).collect()
+        };
+        assert_eq!(freqs(0), freqs(k), "same color must share tones");
+        let a = freqs(0);
+        let b = freqs(1);
+        assert!(
+            a.iter().all(|f| !b.contains(f)),
+            "adjacent colors must be disjoint"
+        );
+    }
+
+    #[test]
+    fn interference_bound_holds_with_margin() {
+        let plan = CellPlan::plan(20, &[AmbientProfile::office()], CellConfig::default()).unwrap();
+        for cell in plan.cells() {
+            assert!(
+                cell.worst_interference * plan.config().safety_margin <= cell.threshold,
+                "cell {}: {:.2e} × margin breaches {:.2e}",
+                cell.id,
+                cell.worst_interference,
+                cell.threshold
+            );
+            assert!(cell.worst_interference > 0.0, "bound should be non-trivial");
+        }
+    }
+
+    #[test]
+    fn noisy_ambient_raises_the_threshold() {
+        let quiet = CellPlan::plan(4, &[AmbientProfile::quiet()], small_cfg()).unwrap();
+        let loud = CellPlan::plan(4, &[AmbientProfile::datacenter()], small_cfg()).unwrap();
+        assert_eq!(quiet.cells()[0].threshold, small_cfg().detector_floor);
+        assert!(
+            loud.cells()[0].threshold > quiet.cells()[0].threshold,
+            "datacenter ambient must raise the floor"
+        );
+    }
+
+    #[test]
+    fn forced_tight_coloring_is_rejected() {
+        let cfg = CellConfig {
+            colors: 1,
+            cell_pitch_m: 2.0,
+            switches_per_cell: 3,
+            slots_per_switch: 4,
+            ..CellConfig::default()
+        };
+        let err = CellPlan::plan(6, &[AmbientProfile::quiet()], cfg).unwrap_err();
+        assert!(
+            matches!(err, CellPlanError::ReuseUnsafe { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn capacity_overflow_is_an_error() {
+        let cfg = CellConfig {
+            switches_per_cell: 200,
+            slots_per_switch: 8,
+            cell_pitch_m: 100.0,
+            ..CellConfig::default()
+        };
+        let err = CellPlan::plan(2, &[AmbientProfile::quiet()], cfg).unwrap_err();
+        assert!(matches!(err, CellPlanError::Capacity { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        let cfg = CellConfig {
+            safety_margin: 0.5,
+            ..CellConfig::default()
+        };
+        assert!(matches!(
+            CellPlan::plan(2, &[AmbientProfile::quiet()], cfg).unwrap_err(),
+            CellPlanError::BadConfig(_)
+        ));
+        assert!(matches!(
+            CellPlan::plan(0, &[AmbientProfile::quiet()], CellConfig::default()).unwrap_err(),
+            CellPlanError::BadConfig(_)
+        ));
+        assert!(matches!(
+            CellPlan::plan(2, &[], CellConfig::default()).unwrap_err(),
+            CellPlanError::BadConfig(_)
+        ));
+    }
+
+    #[test]
+    fn devices_sit_on_planned_geometry() {
+        let plan = CellPlan::plan(3, &[AmbientProfile::quiet()], small_cfg()).unwrap();
+        let devices = plan.sounding_devices();
+        assert_eq!(devices.len(), 3);
+        for (cell, devs) in plan.cells().iter().zip(&devices) {
+            for (dev, &pos) in devs.iter().zip(&cell.switch_pos) {
+                assert_eq!(dev.pos, pos);
+                assert_eq!(dev.level_db, plan.config().source_level_db);
+            }
+        }
+        // Mic sits over the row centre, between first and last switch.
+        let c0 = &plan.cells()[0];
+        assert!(c0.mic_pos.x > c0.switch_pos[0].x);
+        assert!(c0.mic_pos.x < c0.switch_pos.last().unwrap().x);
+    }
+
+    #[test]
+    fn verify_reuse_passes_on_a_small_plan() {
+        let plan = CellPlan::plan(6, &[AmbientProfile::quiet()], small_cfg()).unwrap();
+        plan.verify_reuse(44_100).unwrap();
+    }
+
+    #[test]
+    fn sharded_controller_counts_match_plan() {
+        let plan = CellPlan::plan(5, &[AmbientProfile::quiet()], small_cfg()).unwrap();
+        let sharded = ShardedController::new(&plan);
+        assert_eq!(sharded.num_cells(), 5);
+        assert_eq!(
+            sharded.controllers()[2].bindings().len(),
+            plan.config().switches_per_cell
+        );
+    }
+}

@@ -266,6 +266,23 @@ pub fn collapse_events(events: &[MdnEvent], refractory: Duration) -> Vec<MdnEven
     out
 }
 
+/// Merge per-shard event streams (one per acoustic cell) into a single
+/// stream tagged with the shard index. Ordering is by event time, then
+/// shard index, then each shard's own decode order — a function of the
+/// input streams alone, so the merged stream is bit-identical no matter
+/// how many threads produced the shards or in what order they finished.
+pub fn merge_event_streams(streams: Vec<Vec<MdnEvent>>) -> Vec<(usize, MdnEvent)> {
+    let mut merged: Vec<(usize, MdnEvent)> = streams
+        .into_iter()
+        .enumerate()
+        .flat_map(|(shard, events)| events.into_iter().map(move |e| (shard, e)))
+        .collect();
+    // Stable sort: equal (time, shard) pairs keep their within-shard
+    // decode order.
+    merged.sort_by(|a, b| a.1.time.cmp(&b.1.time).then(a.0.cmp(&b.0)));
+    merged
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -465,5 +482,36 @@ mod tests {
         let (scene, ctl, _, _) = setup();
         let events = ctl.listen(&scene, Duration::ZERO, Duration::from_millis(500));
         assert!(events.is_empty(), "false events: {events:?}");
+    }
+
+    #[test]
+    fn merge_orders_by_time_then_shard_and_keeps_shard_order() {
+        let ev = |device: &str, ms: u64| MdnEvent {
+            device: device.into(),
+            slot: 0,
+            time: Duration::from_millis(ms),
+            freq_hz: 500.0,
+            magnitude: 0.01,
+        };
+        let shard0 = vec![ev("a", 10), ev("b", 30)];
+        let shard1 = vec![ev("c", 10), ev("d", 20)];
+        let merged = merge_event_streams(vec![shard0.clone(), shard1.clone()]);
+        let order: Vec<(usize, &str)> = merged
+            .iter()
+            .map(|(s, e)| (*s, e.device.as_str()))
+            .collect();
+        // t=10 ties break by shard; t=20 then t=30 interleave across
+        // shards by time.
+        assert_eq!(order, vec![(0, "a"), (1, "c"), (1, "d"), (0, "b")]);
+        // Permuting the outer order of thread completion cannot matter:
+        // the function's input is indexed, so same input → same output.
+        let again = merge_event_streams(vec![shard0, shard1]);
+        assert_eq!(merged, again);
+    }
+
+    #[test]
+    fn merge_of_empty_streams_is_empty() {
+        assert!(merge_event_streams(vec![Vec::new(), Vec::new()]).is_empty());
+        assert!(merge_event_streams(Vec::new()).is_empty());
     }
 }

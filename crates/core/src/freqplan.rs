@@ -202,6 +202,44 @@ impl FrequencyPlan {
     pub fn assignments(&self) -> &[(String, Vec<usize>)] {
         &self.assignments
     }
+
+    /// Carve the band into `colors` equal contiguous sub-bands and return
+    /// a fresh, unallocated plan over sub-band `color` — the spatial-reuse
+    /// primitive for acoustic cells: cells assigned the same color draw
+    /// from identical sub-plans (same frequencies), cells with different
+    /// colors are disjoint by construction. Derived from the full band
+    /// regardless of any allocations already made on `self`; slots that
+    /// don't divide evenly are left unused at the top of the band.
+    ///
+    /// ```
+    /// use mdn_core::freqplan::FrequencyPlan;
+    /// let plan = FrequencyPlan::audible_default();
+    /// let a = plan.subband(0, 4);
+    /// let b = plan.subband(1, 4);
+    /// assert_eq!(a.capacity(), plan.capacity() / 4);
+    /// assert!(b.slot_freq(0) > a.slot_freq(a.capacity() - 1)); // disjoint
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `color >= colors` or if the band is too small to give
+    /// every color at least one slot.
+    pub fn subband(&self, color: usize, colors: usize) -> FrequencyPlan {
+        assert!(colors > 0, "need at least one color");
+        assert!(color < colors, "color {color} out of range 0..{colors}");
+        let per = self.slots / colors;
+        assert!(
+            per > 0,
+            "{} slots cannot be split {colors} ways",
+            self.slots
+        );
+        FrequencyPlan {
+            lo_hz: self.lo_hz + (color * per) as f64 * self.spacing_hz,
+            spacing_hz: self.spacing_hz,
+            slots: per,
+            next_free: 0,
+            assignments: Vec::new(),
+        }
+    }
 }
 
 /// A device's (or application's) disjoint set of tone slots.
@@ -364,5 +402,62 @@ mod tests {
     #[should_panic(expected = "bad band")]
     fn degenerate_band_panics() {
         FrequencyPlan::new(1000.0, 500.0, 20.0);
+    }
+
+    #[test]
+    fn subbands_partition_the_parent_grid() {
+        let parent = FrequencyPlan::audible_default();
+        let colors = 4;
+        let mut seen = Vec::new();
+        for c in 0..colors {
+            let sub = parent.subband(c, colors);
+            assert_eq!(sub.capacity(), parent.capacity() / colors);
+            assert_eq!(sub.spacing_hz(), parent.spacing_hz());
+            for i in 0..sub.capacity() {
+                let f = sub.slot_freq(i);
+                // Every sub-band slot sits exactly on a parent slot.
+                let (pi, dist) = parent.nearest_slot(f).unwrap();
+                assert!(dist < 1e-9);
+                seen.push(pi);
+            }
+        }
+        // Disjoint across colors, covering the bottom 4 × (capacity/4)
+        // parent slots exactly once.
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seen.len(), "sub-bands overlap");
+        assert_eq!(sorted.len(), colors * (parent.capacity() / colors));
+    }
+
+    #[test]
+    fn same_color_subbands_are_identical_and_allocations_reproducible() {
+        let parent = FrequencyPlan::audible_default();
+        let mut a = parent.subband(2, 5);
+        let mut b = parent.subband(2, 5);
+        let sa = a.allocate("cell-2-sw-0", 8).unwrap();
+        let sb = b.allocate("cell-7-sw-0", 8).unwrap();
+        assert_eq!(sa.freqs, sb.freqs, "same color must reuse identical tones");
+    }
+
+    #[test]
+    fn subband_ignores_parent_allocations() {
+        let mut parent = FrequencyPlan::new(500.0, 1000.0, 20.0);
+        parent.allocate("x", 10).unwrap();
+        let sub = parent.subband(0, 2);
+        assert_eq!(sub.available(), sub.capacity());
+        assert_eq!(sub.slot_freq(0), 500.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn subband_color_out_of_range_panics() {
+        FrequencyPlan::audible_default().subband(4, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be split")]
+    fn subband_too_many_colors_panics() {
+        FrequencyPlan::new(500.0, 600.0, 20.0).subband(0, 100);
     }
 }

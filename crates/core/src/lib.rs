@@ -14,6 +14,9 @@
 //!   with noise-floor calibration;
 //! * [`controller`] — bindings from frequency sets to devices, capture →
 //!   `(device, slot, time)` events;
+//! * [`cells`] — acoustic cells: spatial frequency reuse across cell
+//!   sub-bands and a sharded multi-mic controller, scaling past the
+//!   single-microphone ~1000-frequency ceiling;
 //! * [`apps`] — the six applications of §4–§7 plus the open-problem
 //!   extensions;
 //! * [`fan`] — the parametric server-fan model behind Figures 6–7;
@@ -51,6 +54,7 @@
 
 pub mod apps;
 pub mod array;
+pub mod cells;
 pub mod controller;
 pub mod detector;
 pub mod encoder;
@@ -61,6 +65,7 @@ pub mod live;
 pub mod relay;
 pub mod sequence;
 
+pub use cells::{CellConfig, CellEvent, CellPlan, ShardedController};
 pub use controller::{MdnController, MdnEvent};
 pub use detector::{DetectorConfig, ToneDetector};
 pub use encoder::SoundingDevice;

@@ -44,6 +44,14 @@ pub struct PacketQueue {
     /// Deepest occupancy (in packets) ever reached — the congestion
     /// figure the paper's queue tones quantise into low/mid/high bands.
     pub high_water: usize,
+    /// Total packets removed by [`PacketQueue::dequeue`] over the queue's
+    /// lifetime (i.e. handed to the transmitter).
+    pub dequeued: u64,
+    /// Total packets discarded by [`PacketQueue::clear`] over the queue's
+    /// lifetime (link failures, switch crashes). Together with `dequeued`
+    /// and the current occupancy this reconciles exactly against
+    /// `accepted`: `accepted == dequeued + cleared + len()`.
+    pub cleared: u64,
 }
 
 impl PacketQueue {
@@ -60,6 +68,8 @@ impl PacketQueue {
             dropped: 0,
             accepted_bytes: 0,
             high_water: 0,
+            dequeued: 0,
+            cleared: 0,
         }
     }
 
@@ -99,7 +109,11 @@ impl PacketQueue {
 
     /// Dequeue the head packet, if any.
     pub fn dequeue(&mut self) -> Option<Packet> {
-        self.items.pop_front()
+        let pkt = self.items.pop_front();
+        if pkt.is_some() {
+            self.dequeued += 1;
+        }
+        pkt
     }
 
     /// Peek at the head packet without removing it.
@@ -107,9 +121,17 @@ impl PacketQueue {
         self.items.front()
     }
 
-    /// Drop everything currently queued (e.g. on link failure).
-    pub fn clear(&mut self) {
+    /// Drop everything currently queued (e.g. on link failure or switch
+    /// crash) and return how many packets were discarded, so callers can
+    /// charge the loss to the right drop counter instead of re-deriving
+    /// the occupancy themselves. The count also accumulates into the
+    /// lifetime [`cleared`](Self::cleared) counter.
+    #[must_use = "cleared packets must be charged to a drop counter"]
+    pub fn clear(&mut self) -> usize {
+        let drained = self.items.len();
         self.items.clear();
+        self.cleared += drained as u64;
+        drained
     }
 }
 
@@ -162,12 +184,36 @@ mod tests {
     }
 
     #[test]
-    fn clear_empties_queue() {
+    fn clear_empties_queue_and_reports_drained_count() {
         let mut q = PacketQueue::new(10);
         q.enqueue(pkt(0));
-        q.clear();
+        q.enqueue(pkt(1));
+        assert_eq!(q.clear(), 2);
         assert!(q.is_empty());
-        assert_eq!(q.accepted, 1); // lifetime counters survive clear
+        assert_eq!(q.accepted, 2); // lifetime counters survive clear
+        assert_eq!(q.cleared, 2);
+        assert_eq!(q.clear(), 0, "clearing an empty queue drains nothing");
+        assert_eq!(q.cleared, 2);
+    }
+
+    #[test]
+    fn lifetime_counters_reconcile() {
+        let mut q = PacketQueue::new(3);
+        for i in 0..5 {
+            q.enqueue(pkt(i)); // 3 accepted, 2 tail-dropped
+        }
+        q.dequeue();
+        let _ = q.clear(); // 2 cleared
+        q.enqueue(pkt(5));
+        assert_eq!(q.accepted, 4);
+        assert_eq!(q.dropped, 2);
+        assert_eq!(q.dequeued, 1);
+        assert_eq!(q.cleared, 2);
+        assert_eq!(
+            q.accepted,
+            q.dequeued + q.cleared + q.len() as u64,
+            "accepted == dequeued + cleared + in_flight"
+        );
     }
 
     #[test]
@@ -192,7 +238,7 @@ mod tests {
             q.enqueue(pkt(i));
         }
         assert_eq!(q.high_water, 6);
-        q.clear();
+        let _ = q.clear();
         assert_eq!(q.high_water, 6, "clear keeps lifetime accounting");
     }
 

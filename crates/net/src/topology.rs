@@ -121,6 +121,87 @@ pub struct StarTopo {
     pub switch: NodeId,
 }
 
+/// Handles to a two-tier leaf-spine fabric: every leaf connects to every
+/// spine, hosts hang off the leaves — the shape a 100+-switch datacenter
+/// deployment (one acoustic cell per rack row of leaves) actually has.
+#[derive(Debug, Clone)]
+pub struct LeafSpineTopo {
+    /// Spine switches. Spine `s`'s port `l` faces leaf `l`.
+    pub spines: Vec<NodeId>,
+    /// Leaf switches. Leaf `l`'s ports `0..hosts_per_leaf` face its
+    /// hosts; port `hosts_per_leaf + s` faces spine `s`.
+    pub leaves: Vec<NodeId>,
+    /// Hosts, leaf-major: `hosts[l * hosts_per_leaf + h]` is host `h` on
+    /// leaf `l`, with IP `10.0.(l+1).(h+1)`.
+    pub hosts: Vec<NodeId>,
+    /// Hosts attached to each leaf.
+    pub hosts_per_leaf: usize,
+}
+
+impl LeafSpineTopo {
+    /// Host `h` on leaf `l`.
+    pub fn host(&self, leaf: usize, h: usize) -> NodeId {
+        self.hosts[leaf * self.hosts_per_leaf + h]
+    }
+
+    /// The IP assigned to host `h` on leaf `l`.
+    pub fn host_ip(&self, leaf: usize, h: usize) -> Ip {
+        Ip::v4(10, 0, (leaf + 1) as u8, (h + 1) as u8)
+    }
+
+    /// The leaf port facing spine `s`.
+    pub fn uplink_port(&self, s: usize) -> usize {
+        self.hosts_per_leaf + s
+    }
+}
+
+/// Build a leaf-spine fabric: `leaves × spines` core links at `core_bps`,
+/// `leaves × hosts_per_leaf` access links at `access_bps`.
+///
+/// # Panics
+/// Panics if any tier count is zero, or `leaves`/`hosts_per_leaf` exceed
+/// 250 (the octets we address from).
+pub fn leaf_spine(
+    net: &mut Network,
+    spines: usize,
+    leaves: usize,
+    hosts_per_leaf: usize,
+    access_bps: u64,
+    core_bps: u64,
+    latency: Duration,
+) -> LeafSpineTopo {
+    assert!(spines >= 1, "need at least one spine");
+    assert!((1..=250).contains(&leaves), "leaves out of range");
+    assert!(
+        (1..=250).contains(&hosts_per_leaf),
+        "hosts_per_leaf out of range"
+    );
+    let spine_ids: Vec<NodeId> = (0..spines)
+        .map(|s| net.add_switch(format!("spine{}", s + 1), leaves))
+        .collect();
+    let mut leaf_ids = Vec::with_capacity(leaves);
+    let mut host_ids = Vec::with_capacity(leaves * hosts_per_leaf);
+    for l in 0..leaves {
+        let leaf = net.add_switch(format!("leaf{}", l + 1), hosts_per_leaf + spines);
+        for h in 0..hosts_per_leaf {
+            let ip = Ip::v4(10, 0, (l + 1) as u8, (h + 1) as u8);
+            let host = net.add_host(format!("h{}-{}", l + 1, h + 1), ip);
+            net.connect(host, 0, leaf, h, access_bps, latency);
+            host_ids.push(host);
+        }
+        for (s, &spine) in spine_ids.iter().enumerate() {
+            net.connect(leaf, hosts_per_leaf + s, spine, l, core_bps, latency);
+        }
+        leaf_ids.push(leaf);
+    }
+    LeafSpineTopo {
+        spines: spine_ids,
+        leaves: leaf_ids,
+        hosts: host_ids,
+        hosts_per_leaf,
+    }
+}
+
 /// Build a star topology.
 ///
 /// # Panics
@@ -264,5 +345,70 @@ mod tests {
     fn star_rejects_zero_hosts() {
         let mut net = Network::new();
         star(&mut net, 0, MBPS, Duration::ZERO);
+    }
+
+    #[test]
+    fn leaf_spine_carries_traffic_across_the_spine() {
+        let mut net = Network::new();
+        let t = leaf_spine(&mut net, 2, 4, 1, 10 * MBPS, 40 * MBPS, Duration::from_micros(10));
+        let dst = t.host_ip(1, 0); // h on leaf 2
+        // leaf1 → spine1 → leaf2 → host.
+        net.install_rule(
+            t.leaves[0],
+            Rule {
+                mat: Match::dst(dst),
+                priority: 1,
+                action: Action::Forward(t.uplink_port(0)),
+            },
+        );
+        net.install_rule(
+            t.spines[0],
+            Rule {
+                mat: Match::dst(dst),
+                priority: 1,
+                action: Action::Forward(1), // spine port l faces leaf l
+            },
+        );
+        net.install_rule(
+            t.leaves[1],
+            Rule {
+                mat: Match::dst(dst),
+                priority: 1,
+                action: Action::Forward(0),
+            },
+        );
+        net.attach_generator(
+            t.host(0, 0),
+            TrafficPattern::Cbr {
+                flow: FlowKey::udp(t.host_ip(0, 0), 1, dst, 2),
+                pps: 100.0,
+                size: 500,
+                start: Duration::ZERO,
+                stop: Duration::from_millis(100),
+            },
+        );
+        net.drain();
+        assert_eq!(net.host(t.host(1, 0)).rx_packets, 10);
+        assert_eq!(net.switch(t.spines[0]).rx_packets, 10);
+        assert_eq!(net.switch(t.spines[1]).rx_packets, 0);
+    }
+
+    #[test]
+    fn leaf_spine_scales_past_one_hundred_switches() {
+        let mut net = Network::new();
+        let t = leaf_spine(&mut net, 8, 96, 1, MBPS, 4 * MBPS, Duration::from_micros(10));
+        assert_eq!(t.spines.len() + t.leaves.len(), 104);
+        assert_eq!(t.hosts.len(), 96);
+        // Every leaf carries its host port plus one uplink per spine.
+        assert_eq!(net.switch(t.leaves[95]).ports.len(), 1 + 8);
+        assert_eq!(net.switch(t.spines[0]).ports.len(), 96);
+        assert_eq!(net.host(t.host(95, 0)).ip, Ip::v4(10, 0, 96, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one spine")]
+    fn leaf_spine_rejects_zero_spines() {
+        let mut net = Network::new();
+        leaf_spine(&mut net, 0, 4, 1, MBPS, MBPS, Duration::ZERO);
     }
 }

@@ -145,9 +145,28 @@ impl Generator {
                 } else {
                     1.0
                 };
-                let rate = start_pps + (end_pps - start_pps) * frac;
+                // Instantaneous rate r(t) = start_pps + m·t and slope m of
+                // the ramp at `now`.
+                let rate = (start_pps + (end_pps - start_pps) * frac).max(1e-9);
+                let slope = if span > 0.0 {
+                    (end_pps - start_pps) / span
+                } else {
+                    0.0
+                };
                 let pkt = self.make(flow, size, now);
-                let next = now + Duration::from_secs_f64(1.0 / rate.max(1e-9));
+                // The next emission is where the integral of r(t) from `now`
+                // accumulates one packet: r·Δ + m·Δ²/2 = 1, so
+                // Δ = (−r + √(r² + 2m)) / m. Using 1/r(now) instead (the
+                // rate at the *previous* emission) systematically overshoots
+                // each gap on a rising ramp and undershoots the analytic
+                // packet count (start_pps+end_pps)/2 · span.
+                let disc = rate * rate + 2.0 * slope;
+                let gap = if slope.abs() < 1e-12 || disc <= 0.0 {
+                    1.0 / rate
+                } else {
+                    (disc.sqrt() - rate) / slope
+                };
+                let next = now + Duration::from_secs_f64(gap.max(1e-12));
                 (Some(pkt), (next < stop).then_some(next))
             }
             TrafficPattern::Poisson {
@@ -280,6 +299,58 @@ mod tests {
             .filter(|(t, _)| *t >= Duration::from_millis(1800))
             .count();
         assert!(late > 10 * early.max(1), "early {early} late {late}");
+    }
+
+    /// Regression: the ramp gap must integrate the instantaneous rate, not
+    /// sample it at the previous emission. The old per-sample gap is longest
+    /// exactly when the rate is about to grow, so a steep ramp from a low
+    /// start rate lost a large slice of its window to the first gap: 2→600
+    /// pps over 1 s emitted 226 packets against the analytic integral
+    /// (start+end)/2 · span = 301 (−25%), and 0.3→300 pps over 1 s emitted
+    /// a single packet because 1/0.3 s overshot `stop` entirely. The
+    /// integrated gap lands within 1% on every shape, including a
+    /// decelerating ramp.
+    #[test]
+    fn ramp_count_matches_analytic_integral() {
+        for &(start_pps, end_pps, secs) in &[
+            (2.0, 600.0, 1u64),
+            (0.3, 300.0, 1),
+            (10.0, 1000.0, 2),
+            (50.0, 500.0, 4),
+            (400.0, 40.0, 3),
+        ] {
+            let g = Generator::new(TrafficPattern::Ramp {
+                flow: flow(),
+                start_pps,
+                end_pps,
+                size: 100,
+                start: Duration::ZERO,
+                stop: Duration::from_secs(secs),
+            });
+            let pkts = drain(g, 1_000_000);
+            let expected = (start_pps + end_pps) / 2.0 * secs as f64;
+            let got = pkts.len() as f64;
+            assert!(
+                (got - expected).abs() / expected < 0.01,
+                "ramp {start_pps}->{end_pps} over {secs}s: emitted {got}, analytic {expected}"
+            );
+        }
+    }
+
+    /// A zero-length ramp degenerates to a single burst window and must not
+    /// divide by zero or spin.
+    #[test]
+    fn ramp_zero_span_is_silent() {
+        let g = Generator::new(TrafficPattern::Ramp {
+            flow: flow(),
+            start_pps: 10.0,
+            end_pps: 1000.0,
+            size: 100,
+            start: Duration::from_secs(1),
+            stop: Duration::from_secs(1),
+        });
+        let pkts = drain(g, 1000);
+        assert!(pkts.is_empty());
     }
 
     #[test]

@@ -52,7 +52,8 @@ pub mod prelude {
     };
     pub use mdn_audio::Signal;
     pub use mdn_core::{
-        controller::{collapse_events, MdnController, MdnEvent},
+        cells::{CellConfig, CellEvent, CellPlan, ShardedController},
+        controller::{collapse_events, merge_event_streams, MdnController, MdnEvent},
         detector::{DetectorConfig, ToneDetector},
         encoder::SoundingDevice,
         freqplan::{FrequencyPlan, FrequencySet},

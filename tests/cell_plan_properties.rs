@@ -1,0 +1,83 @@
+//! Property: any cell plan the planner *accepts* is sound in practice —
+//! for random geometries, ambient mixes, and thresholds, the worst-case
+//! foreign-reuse scene replayed through the real render → microphone →
+//! detector pipeline never attributes a reused tone to a local switch.
+
+use mdn_acoustics::ambient::AmbientProfile;
+use mdn_core::cells::{CellConfig, CellPlan};
+use proptest::prelude::*;
+
+const SR: u32 = 44_100;
+
+fn ambients() -> impl Strategy<Value = Vec<AmbientProfile>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(AmbientProfile::quiet()),
+            Just(AmbientProfile::office()),
+            Just(AmbientProfile::datacenter()),
+        ],
+        1..4,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn accepted_plans_never_leak_foreign_tones(
+        cells in 3usize..9,
+        switches in 2usize..5,
+        slots in 2usize..5,
+        pitch in 4.0f64..9.0,
+        spacing in 0.3f64..0.5,
+        floor in 2e-3f64..6e-3,
+        ambients in ambients(),
+    ) {
+        let cfg = CellConfig {
+            switches_per_cell: switches,
+            slots_per_switch: slots,
+            cell_pitch_m: pitch,
+            rack_spacing_m: spacing,
+            detector_floor: floor,
+            ..CellConfig::default()
+        };
+        // The planner may legitimately reject a geometry (e.g. noisy
+        // ambient + low floor); the property binds only accepted plans.
+        if let Ok(plan) = CellPlan::plan(cells, &ambients, cfg) {
+            prop_assert!(plan.colors() <= cells);
+            let verdict = plan.verify_reuse(SR);
+            prop_assert!(
+                verdict.is_ok(),
+                "accepted plan leaked through the detector: {:?}",
+                verdict.unwrap_err()
+            );
+        }
+    }
+
+    /// The analytic bound recorded per cell is consistent with the plan's
+    /// own safety contract.
+    #[test]
+    fn accepted_plans_respect_their_own_margin(
+        cells in 3usize..12,
+        pitch in 4.0f64..10.0,
+        floor in 2e-3f64..8e-3,
+    ) {
+        let cfg = CellConfig {
+            switches_per_cell: 3,
+            slots_per_switch: 3,
+            cell_pitch_m: pitch,
+            detector_floor: floor,
+            ..CellConfig::default()
+        };
+        if let Ok(plan) = CellPlan::plan(cells, &[AmbientProfile::office()], cfg) {
+            for cell in plan.cells() {
+                prop_assert!(
+                    cell.worst_interference * plan.config().safety_margin
+                        <= cell.threshold * (1.0 + 1e-12),
+                    "cell {} breaches its own budget",
+                    cell.id
+                );
+            }
+        }
+    }
+}
