@@ -6,9 +6,9 @@
 //! bed at a calibrated SPL; the fan-failure experiment (§7 / Figures 6–7)
 //! runs the same detector against both.
 
-use mdn_audio::noise::{band_noise, pink_noise, white_noise};
-use mdn_audio::signal::{spl_to_amplitude, Signal};
-use mdn_audio::synth::Tone;
+use mdn_audio::noise::{band_noise_add, pink_noise_add, white_noise_add};
+use mdn_audio::signal::{spl_to_amplitude, Signal, Window};
+use std::f64::consts::TAU;
 use std::time::Duration;
 
 /// A parametric ambient noise bed.
@@ -63,36 +63,70 @@ impl AmbientProfile {
         }
     }
 
-    /// Render `duration` of the bed at `sample_rate`, deterministic under
-    /// `seed`. The mixed bed is normalized so its RMS matches
-    /// [`Self::level_spl`] under the crate's SPL calibration.
-    pub fn render(&self, duration: Duration, sample_rate: u32, seed: u64) -> Signal {
-        let target_rms = spl_to_amplitude(self.level_spl);
-        let mut bed = Signal::silence(duration, sample_rate);
-        if bed.is_empty() {
-            return bed;
-        }
-        let pink = pink_noise(duration, self.pink_fraction, sample_rate, seed);
-        bed.mix_at(&pink, 0);
+    /// Amplitude gain taking the unit-parameter component mix to
+    /// [`Self::level_spl`], computed analytically from the components'
+    /// expected powers (components are independent, so powers add; a hum
+    /// line of amplitude `a` carries power `a²/2`). Analytic calibration —
+    /// rather than measuring the rendered bed's RMS — is what keeps the
+    /// bed a pure function of the absolute sample index, and therefore
+    /// seekable: a measured-RMS normalization would couple every sample's
+    /// value to the render's duration.
+    fn mix_gain(&self) -> f64 {
+        let mut power = self.pink_fraction * self.pink_fraction;
         if self.pink_fraction < 1.0 {
-            let white = white_noise(duration, 1.0 - self.pink_fraction, sample_rate, seed ^ 0x11);
-            bed.mix_at(&white, 0);
+            let w = 1.0 - self.pink_fraction;
+            power += w * w;
+        }
+        if let Some((_, _, amp)) = self.rumble_band {
+            power += amp * amp;
+        }
+        for &(_, amp) in &self.hum_lines {
+            power += amp * amp / 2.0;
+        }
+        spl_to_amplitude(self.level_spl) / power.sqrt().max(1e-12)
+    }
+
+    /// Add samples `[from, from + out.len())` of the infinite ambient
+    /// stream into `out`. Every sample is a pure function of its absolute
+    /// index, so any window of the stream renders byte-identically to the
+    /// same span of a from-zero render — the property `Scene::render_window`
+    /// is built on.
+    pub fn render_into(&self, out: &mut [f32], from: u64, sample_rate: u32, seed: u64) {
+        if out.is_empty() {
+            return;
+        }
+        let gain = self.mix_gain();
+        pink_noise_add(out, from, self.pink_fraction * gain, seed);
+        if self.pink_fraction < 1.0 {
+            white_noise_add(out, from, (1.0 - self.pink_fraction) * gain, seed ^ 0x11);
         }
         if let Some((lo, hi, amp)) = self.rumble_band {
-            let rumble = band_noise(duration, lo, hi, amp, sample_rate, seed ^ 0x22);
-            bed.mix_at(&rumble, 0);
+            band_noise_add(out, from, lo, hi, amp * gain, sample_rate, seed ^ 0x22);
         }
-        for (i, &(freq, amp)) in self.hum_lines.iter().enumerate() {
-            let hum = Tone {
-                phase: i as f64,
-                ..Tone::new(freq, duration, amp)
+        for (line, &(freq, amp)) in self.hum_lines.iter().enumerate() {
+            let step = TAU * freq / sample_rate as f64;
+            let phase = line as f64; // de-phase stacked harmonics
+            let a = amp * gain;
+            for (i, o) in out.iter_mut().enumerate() {
+                *o += (a * (phase + step * (from + i as u64) as f64).sin()) as f32;
             }
-            .render(sample_rate);
-            bed.mix_at(&hum, 0);
         }
-        let rms = bed.rms().max(1e-12);
-        bed.scale(target_rms / rms);
-        bed
+    }
+
+    /// Render window `w` of the bed at `sample_rate`, deterministic under
+    /// `seed` and byte-identical to the same span of any other window.
+    pub fn render_window(&self, w: Window, sample_rate: u32, seed: u64) -> Signal {
+        let (a, b) = w.sample_range(sample_rate);
+        let mut out = Signal::from_samples(vec![0.0; b - a], sample_rate);
+        self.render_into(out.samples_mut(), a as u64, sample_rate, seed);
+        out
+    }
+
+    /// Render `duration` of the bed at `sample_rate`, deterministic under
+    /// `seed`. The mix is calibrated analytically so its RMS matches
+    /// [`Self::level_spl`] under the crate's SPL calibration.
+    pub fn render(&self, duration: Duration, sample_rate: u32, seed: u64) -> Signal {
+        self.render_window(Window::from_start(duration), sample_rate, seed)
     }
 }
 
@@ -149,6 +183,26 @@ mod tests {
         let hum = spec.magnitude_at(120.0);
         let floor = spec.magnitude_at(95.0).max(spec.magnitude_at(145.0));
         assert!(hum > 1.5 * floor, "hum {hum} floor {floor}");
+    }
+
+    #[test]
+    fn windowed_render_matches_from_zero_render() {
+        for profile in [
+            AmbientProfile::quiet(),
+            AmbientProfile::office(),
+            AmbientProfile::datacenter(),
+        ] {
+            let full = profile.render(Duration::from_millis(600), SR, 7);
+            let w = Window::new(Duration::from_millis(250), Duration::from_millis(200));
+            let windowed = profile.render_window(w, SR, 7);
+            let (a, b) = w.sample_range(SR);
+            assert_eq!(
+                windowed.samples(),
+                &full.samples()[a..b],
+                "{}: windowed ambient diverged",
+                profile.name
+            );
+        }
     }
 
     #[test]

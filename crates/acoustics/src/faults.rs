@@ -3,36 +3,14 @@
 //! The Self-Healing Audio System line of work (see PAPERS.md) is about
 //! exactly these failures: a speaker that goes silent, a microphone whose
 //! capture drops out, a burst of interfering noise. A [`SceneFaultPlan`]
-//! attaches them to a [`Scene`](crate::scene::Scene) as *time windows*, so
-//! a chaos test can make the acoustic channel fail during a chosen part of
-//! the experiment and prove the control loop rides through it.
+//! attaches them to a [`Scene`](crate::scene::Scene) as *time windows* —
+//! the same [`Window`] type the capture API speaks — so a chaos test can
+//! make the acoustic channel fail during a chosen part of the experiment
+//! and prove the control loop rides through it.
 
 use std::time::Duration;
 
-/// A half-open time window `[from, to)` on the scene timeline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TimeWindow {
-    /// Window start (inclusive).
-    pub from: Duration,
-    /// Window end (exclusive).
-    pub to: Duration,
-}
-
-impl TimeWindow {
-    /// A window `[from, to)`.
-    ///
-    /// # Panics
-    /// Panics unless `from < to`.
-    pub fn new(from: Duration, to: Duration) -> Self {
-        assert!(from < to, "window must start before it ends");
-        Self { from, to }
-    }
-
-    /// Does the window contain `t`?
-    pub fn contains(&self, t: Duration) -> bool {
-        t >= self.from && t < self.to
-    }
-}
+pub use mdn_audio::signal::Window;
 
 /// Faults applied to a scene at render time.
 ///
@@ -46,11 +24,11 @@ impl TimeWindow {
 #[derive(Debug, Clone, Default)]
 pub struct SceneFaultPlan {
     /// `(emitter label, window)` pairs: matching emissions are muted.
-    speaker_dropouts: Vec<(String, TimeWindow)>,
+    speaker_dropouts: Vec<(String, Window)>,
     /// Windows where the listener hears nothing at all.
-    mic_dead: Vec<TimeWindow>,
+    mic_dead: Vec<Window>,
     /// `(window, level dB SPL)` noise bursts.
-    noise_bursts: Vec<(TimeWindow, f64)>,
+    noise_bursts: Vec<(Window, f64)>,
     /// Seed for the burst noise generators.
     seed: u64,
 }
@@ -65,19 +43,19 @@ impl SceneFaultPlan {
     }
 
     /// Mute emissions labelled `label` that start inside `window`.
-    pub fn speaker_dropout(mut self, label: impl Into<String>, window: TimeWindow) -> Self {
+    pub fn speaker_dropout(mut self, label: impl Into<String>, window: Window) -> Self {
         self.speaker_dropouts.push((label.into(), window));
         self
     }
 
     /// Zero everything the listener hears inside `window`.
-    pub fn mic_dead(mut self, window: TimeWindow) -> Self {
+    pub fn mic_dead(mut self, window: Window) -> Self {
         self.mic_dead.push(window);
         self
     }
 
     /// Mix a white-noise burst at `level_db` SPL over `window`.
-    pub fn noise_burst(mut self, window: TimeWindow, level_db: f64) -> Self {
+    pub fn noise_burst(mut self, window: Window, level_db: f64) -> Self {
         self.noise_bursts.push((window, level_db));
         self
     }
@@ -90,12 +68,12 @@ impl SceneFaultPlan {
     }
 
     /// Mic-dead windows.
-    pub fn mic_dead_windows(&self) -> &[TimeWindow] {
+    pub fn mic_dead_windows(&self) -> &[Window] {
         &self.mic_dead
     }
 
     /// Noise bursts as `(window, level dB SPL)`.
-    pub fn noise_bursts(&self) -> &[(TimeWindow, f64)] {
+    pub fn noise_bursts(&self) -> &[(Window, f64)] {
         &self.noise_bursts
     }
 
@@ -113,7 +91,7 @@ mod tests {
 
     #[test]
     fn window_is_half_open() {
-        let w = TimeWindow::new(MS(100), MS(200));
+        let w = Window::between(MS(100), MS(200));
         assert!(!w.contains(MS(99)));
         assert!(w.contains(MS(100)));
         assert!(w.contains(MS(199)));
@@ -123,13 +101,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "start before")]
     fn window_rejects_inversion() {
-        TimeWindow::new(MS(200), MS(100));
+        Window::between(MS(200), MS(100));
     }
 
     #[test]
     fn speaker_muting_matches_label_and_time() {
         let plan =
-            SceneFaultPlan::new(0).speaker_dropout("sw-1", TimeWindow::new(MS(100), MS(300)));
+            SceneFaultPlan::new(0).speaker_dropout("sw-1", Window::between(MS(100), MS(300)));
         assert!(plan.speaker_muted("sw-1", MS(150)));
         assert!(!plan.speaker_muted("sw-1", MS(350)));
         assert!(!plan.speaker_muted("sw-2", MS(150)));

@@ -14,7 +14,7 @@
 //!   intervals, noise bursts.
 //!
 //! ```
-//! use mdn_acoustics::{scene::Scene, speaker::{Speaker, ToneRequest}, mic::Microphone, medium::Pos};
+//! use mdn_acoustics::{scene::Scene, speaker::{Speaker, ToneRequest}, mic::Microphone, medium::Pos, Window};
 //! use std::time::Duration;
 //!
 //! let mut scene = Scene::quiet(44_100);
@@ -23,7 +23,7 @@
 //!     .play(ToneRequest { freq_hz: 700.0, duration: Duration::from_millis(50), level_spl: 60.0 }, 44_100)
 //!     .unwrap();
 //! scene.add(Pos::ORIGIN, Duration::ZERO, tone, "switch-0");
-//! let heard = scene.capture(&Microphone::measurement(), Pos::new(0.5, 0.0, 0.0), Duration::from_millis(60));
+//! let heard = scene.capture(&Microphone::measurement(), Pos::new(0.5, 0.0, 0.0), Window::from_start(Duration::from_millis(60)));
 //! assert!(!heard.is_empty());
 //! ```
 
@@ -37,7 +37,7 @@ pub mod scene;
 pub mod speaker;
 
 pub use ambient::AmbientProfile;
-pub use faults::{SceneFaultPlan, TimeWindow};
+pub use faults::{SceneFaultPlan, Window};
 pub use medium::Pos;
 pub use mic::Microphone;
 pub use scene::Scene;

@@ -5,14 +5,26 @@
 //! start time, plus an ambient profile. Rendering for a listener mixes all
 //! of it with per-source distance attenuation and propagation delay, which
 //! is exactly the pressure field a microphone at that spot would see.
+//!
+//! Rendering is *windowed*: [`Scene::render_window`] produces any span
+//! `[from, from + len)` of the listener's timeline byte-identically to the
+//! same slice of a from-zero render, touching only the work inside the
+//! window — a sorted interval index selects the emissions that can reach
+//! the window (propagation delay included), the ambient bed is seekable
+//! (`mdn_audio::noise::*_at`), and faults are clipped to the window. That
+//! is what makes a closed control loop O(window) per tick instead of
+//! re-rendering the entire elapsed history; [`SceneCursor`] streams
+//! consecutive windows through one reusable scratch buffer.
 
 use crate::ambient::AmbientProfile;
 use crate::faults::SceneFaultPlan;
 use crate::medium::{incident_amplitude, propagation_delay_s, spreading_gain, Pos};
 use crate::mic::Microphone;
-use mdn_audio::signal::{duration_to_samples, spl_to_amplitude};
+use mdn_audio::noise::white_noise_add;
+use mdn_audio::signal::{duration_to_samples, spl_to_amplitude, Window};
 use mdn_audio::Signal;
 use mdn_obs::{Counter, Histogram, Registry};
+use std::sync::OnceLock;
 use std::time::Duration;
 
 /// Registry handles for a [`Scene`]'s counters; disabled by default.
@@ -44,6 +56,67 @@ pub struct Emission {
 /// per worker, spawning threads costs more than the mixing saves.
 const MIN_SAMPLES_PER_THREAD: usize = 1 << 16;
 
+/// Start-sorted interval index over a scene's emissions, built lazily on
+/// first render and invalidated by [`Scene::add`]. `prefix_max_end[k]`
+/// bounds `start + duration` over the first `k + 1` sorted emissions, so a
+/// reverse walk from the last emission starting before the window's end
+/// can stop as soon as even the longest-lived earlier emission — delayed
+/// by the worst-case propagation over the scene's bounding box — cannot
+/// reach the window's start.
+#[derive(Debug, Clone)]
+struct EmissionIndex {
+    /// Emission indices sorted by start time.
+    order: Vec<usize>,
+    /// Start times, in `order` order.
+    starts: Vec<Duration>,
+    /// Prefix max of `start + signal.duration()`, in `order` order.
+    prefix_max_end: Vec<Duration>,
+    /// Axis-aligned bounds over emission positions.
+    bbox: Option<(Pos, Pos)>,
+}
+
+impl EmissionIndex {
+    fn build(emissions: &[Emission]) -> Self {
+        let mut order: Vec<usize> = (0..emissions.len()).collect();
+        order.sort_by_key(|&i| emissions[i].start);
+        let starts = order.iter().map(|&i| emissions[i].start).collect();
+        let mut prefix_max_end = Vec::with_capacity(order.len());
+        let mut max_end = Duration::ZERO;
+        for &i in &order {
+            max_end = max_end.max(emissions[i].start + emissions[i].signal.duration());
+            prefix_max_end.push(max_end);
+        }
+        let bbox = emissions.iter().map(|e| e.pos).fold(None, |acc, p| {
+            let (lo, hi) = acc.unwrap_or((p, p));
+            Some((
+                Pos::new(lo.x.min(p.x), lo.y.min(p.y), lo.z.min(p.z)),
+                Pos::new(hi.x.max(p.x), hi.y.max(p.y), hi.z.max(p.z)),
+            ))
+        });
+        Self {
+            order,
+            starts,
+            prefix_max_end,
+            bbox,
+        }
+    }
+
+    /// Upper bound on the propagation delay from any emission to
+    /// `listener`: the delay over the farthest corner of the bounding box.
+    fn max_delay(&self, listener: Pos) -> Duration {
+        match self.bbox {
+            None => Duration::ZERO,
+            Some((lo, hi)) => {
+                let dx = (listener.x - lo.x).abs().max((listener.x - hi.x).abs());
+                let dy = (listener.y - lo.y).abs().max((listener.y - hi.y).abs());
+                let dz = (listener.z - lo.z).abs().max((listener.z - hi.z).abs());
+                let dist = (dx * dx + dy * dy + dz * dz).sqrt();
+                Duration::from_secs_f64(propagation_delay_s(dist))
+            }
+        }
+    }
+}
+
 /// A collection of emissions over a shared timeline, with an ambient bed.
 #[derive(Debug, Clone)]
 pub struct Scene {
@@ -53,6 +126,7 @@ pub struct Scene {
     ambient_seed: u64,
     faults: Option<SceneFaultPlan>,
     render_threads: usize,
+    index: OnceLock<EmissionIndex>,
     obs: SceneObs,
 }
 
@@ -67,6 +141,7 @@ impl Scene {
             ambient_seed: 0,
             faults: None,
             render_threads: 0,
+            index: OnceLock::new(),
             obs: SceneObs::default(),
         }
     }
@@ -98,11 +173,11 @@ impl Scene {
         self.ambient_seed = seed;
     }
 
-    /// Worker threads for [`Scene::render_at`]: `0` (the default) sizes
-    /// from the machine's available parallelism, `1` forces sequential
-    /// rendering, `n` caps at `n`. The rendered samples are byte-identical
-    /// for every setting — workers own disjoint ranges of the output and
-    /// mix emissions into each range in emission order.
+    /// Worker threads for rendering: `0` (the default) sizes from the
+    /// machine's available parallelism, `1` forces sequential rendering,
+    /// `n` caps at `n`. The rendered samples are byte-identical for every
+    /// setting — workers own disjoint ranges of the output and mix
+    /// emissions into each range in emission order.
     pub fn set_render_threads(&mut self, threads: usize) {
         self.render_threads = threads;
     }
@@ -144,6 +219,7 @@ impl Scene {
             signal,
             label: label.into(),
         });
+        self.index.take();
         self.obs.emissions.inc();
     }
 
@@ -179,18 +255,32 @@ impl Scene {
             .max(1)
     }
 
-    /// Mix every audible emission into `out` (whose length bounds the
-    /// render window), in parallel across disjoint output ranges.
-    ///
-    /// Each output sample accumulates its emissions in emission order with
-    /// the same per-sample arithmetic as `Signal::scaled` + `Signal::mix_at`
-    /// (`out[i] += (src as f64 * gain) as f32`), so the result is
-    /// byte-identical to the sequential path for any thread count.
-    fn mix_emissions(&self, listener: Pos, duration: Duration, out: &mut Signal) {
-        // Placement pass: distance gain and propagation-delayed offset for
-        // every emission that is audible inside the window.
-        let mut placed: Vec<(&Emission, f64, usize)> = Vec::new();
-        for e in &self.emissions {
+    /// Placement pass for window `w`: `(emission index, spreading gain,
+    /// absolute start sample)` for every emission whose delayed sample
+    /// range overlaps the window's. The interval index prunes the scan to
+    /// emissions near the window — a reverse walk over start-sorted
+    /// emissions that stops once `prefix_max_end + max_delay` falls before
+    /// the window — so a tick render of a long scene does O(hits + log n)
+    /// selection work, not O(n). Hits are returned in emission insertion
+    /// order, which makes the mix independent of the window split.
+    fn place_in_window(&self, listener: Pos, w: Window) -> Vec<(usize, f64, usize)> {
+        let index = self
+            .index
+            .get_or_init(|| EmissionIndex::build(&self.emissions));
+        let delay_cap = index.max_delay(listener);
+        let (a, b) = w.sample_range(self.sample_rate);
+        let mut hits = Vec::new();
+        // An emission arrives no earlier than it starts, so only starts
+        // before the window's end can be heard inside it.
+        let upper = index.starts.partition_point(|&s| s < w.end());
+        for k in (0..upper).rev() {
+            if index.prefix_max_end[k] + delay_cap <= w.from {
+                // Even the longest-lived emission so far, delayed by the
+                // worst case, ends before the window starts — and the
+                // prefix max only shrinks further left.
+                break;
+            }
+            let e = &self.emissions[index.order[k]];
             if let Some(plan) = &self.faults {
                 // A dead speaker plays nothing for the whole emission.
                 if plan.speaker_muted(&e.label, e.start) {
@@ -201,18 +291,31 @@ impl Scene {
             let dist = e.pos.distance(&listener);
             let gain = spreading_gain(dist);
             let delay = Duration::from_secs_f64(propagation_delay_s(dist));
-            let at = e.start + delay;
-            if at >= duration {
+            let offset = duration_to_samples(e.start + delay, self.sample_rate);
+            if offset >= b || offset + e.signal.len() <= a {
                 continue;
             }
-            placed.push((e, gain, duration_to_samples(at, self.sample_rate)));
+            hits.push((index.order[k], gain, offset));
         }
+        hits.sort_unstable_by_key(|&(i, _, _)| i);
+        hits
+    }
+
+    /// Mix placed emissions into `out`, whose first sample sits at
+    /// absolute scene sample `range0`, in parallel across disjoint output
+    /// ranges.
+    ///
+    /// Each output sample accumulates its emissions in emission order with
+    /// the same per-sample arithmetic as `Signal::scaled` + `Signal::mix_at`
+    /// (`out[i] += (src as f64 * gain) as f32`), so the result is
+    /// byte-identical for any thread count and any window split.
+    fn mix_placed(&self, placed: &[(usize, f64, usize)], range0: usize, out: &mut Signal) {
         let total_len = out.len();
         let threads = self.render_workers(total_len);
         let mix_range = |range_start: usize, dst: &mut [f32]| {
             let range_end = range_start + dst.len();
-            for &(e, gain, offset) in &placed {
-                let src = e.signal.samples();
+            for &(ei, gain, offset) in placed {
+                let src = self.emissions[ei].signal.samples();
                 let begin = offset.max(range_start);
                 let end = (offset + src.len()).min(range_end);
                 if begin >= end {
@@ -226,71 +329,112 @@ impl Scene {
             }
         };
         if threads <= 1 {
-            mix_range(0, out.samples_mut());
+            mix_range(range0, out.samples_mut());
         } else {
             let per = total_len.div_ceil(threads);
             let mix_range = &mix_range;
             std::thread::scope(|s| {
                 for (t, dst) in out.samples_mut().chunks_mut(per).enumerate() {
-                    s.spawn(move || mix_range(t * per, dst));
+                    s.spawn(move || mix_range(range0 + t * per, dst));
                 }
             });
         }
     }
 
-    /// Render the pressure signal an ideal listener at `listener` would
-    /// observe over `[0, duration)`: all emissions attenuated by distance,
-    /// delayed by propagation, plus the ambient bed.
+    /// Render window `w` of the listener's timeline into `out`, reusing
+    /// its allocation ([`Signal::reset`]). Touches only work overlapping
+    /// the window; the output is byte-identical to the same span of a
+    /// from-zero render.
     ///
-    /// Long renders are mixed in parallel ([`Scene::set_render_threads`]);
-    /// the output is byte-identical for any thread count.
-    pub fn render_at(&self, listener: Pos, duration: Duration) -> Signal {
+    /// # Panics
+    /// Panics if `out`'s sample rate differs from the scene's.
+    pub fn render_window_into(&self, listener: Pos, w: Window, out: &mut Signal) {
+        assert_eq!(
+            out.sample_rate(),
+            self.sample_rate,
+            "scratch sample rate must match the scene"
+        );
         let _span = self.obs.render_span.start_span();
-        let mut out = self
-            .ambient
-            .render(duration, self.sample_rate, self.ambient_seed);
-        if out.is_empty() {
-            return out;
+        let (a, b) = w.sample_range(self.sample_rate);
+        out.reset(b - a);
+        if a == b {
+            return;
         }
-        let total_len = out.len();
-        self.mix_emissions(listener, duration, &mut out);
+        self.ambient
+            .render_into(out.samples_mut(), a as u64, self.sample_rate, self.ambient_seed);
+        let placed = self.place_in_window(listener, w);
+        self.mix_placed(&placed, a, out);
         if let Some(plan) = &self.faults {
             for (i, (win, level_db)) in plan.noise_bursts().iter().enumerate() {
-                if win.from >= duration {
+                if win.from >= w.end() || win.end() <= w.from {
                     continue;
                 }
                 self.obs.noise_bursts.inc();
-                let burst = mdn_audio::noise::white_noise(
-                    win.to - win.from,
-                    spl_to_amplitude(*level_db),
-                    self.sample_rate,
-                    plan.seed() ^ (i as u64),
-                );
-                out.mix_at_time(&burst, win.from);
+                // The burst is samples [0, round(len)) of its own white
+                // stream, placed at the absolute sample of its start.
+                let s0 = duration_to_samples(win.from, self.sample_rate);
+                let blen = duration_to_samples(win.len, self.sample_rate);
+                let begin = s0.max(a);
+                let end = (s0 + blen).min(b);
+                if begin < end {
+                    white_noise_add(
+                        &mut out.samples_mut()[begin - a..end - a],
+                        (begin - s0) as u64,
+                        spl_to_amplitude(*level_db),
+                        plan.seed() ^ (i as u64),
+                    );
+                }
             }
-        }
-        // mix_at_time may have grown the buffer past `duration`; trim back.
-        let mut out = out.slice(0, total_len);
-        if let Some(plan) = &self.faults {
             for win in plan.mic_dead_windows() {
-                let from = duration_to_samples(win.from, self.sample_rate).min(total_len);
-                let to = duration_to_samples(win.to, self.sample_rate).min(total_len);
-                if from < to {
+                let begin = duration_to_samples(win.from, self.sample_rate).max(a);
+                let end = duration_to_samples(win.end(), self.sample_rate).min(b);
+                if begin < end {
                     self.obs.mic_dead_windows.inc();
-                }
-                for s in &mut out.samples_mut()[from..to] {
-                    *s = 0.0;
+                    for s in &mut out.samples_mut()[begin - a..end - a] {
+                        *s = 0.0;
+                    }
                 }
             }
         }
+    }
+
+    /// Render window `w` of the pressure signal an ideal listener at
+    /// `listener` would observe: all emissions attenuated by distance,
+    /// delayed by propagation, plus the ambient bed, with any fault plan
+    /// applied — all clipped to the window.
+    ///
+    /// Long windows are mixed in parallel ([`Scene::set_render_threads`]);
+    /// the output is byte-identical for any thread count and equals the
+    /// `[w.from, w.end())` span of `render_at(listener, w.end())` exactly.
+    pub fn render_window(&self, listener: Pos, w: Window) -> Signal {
+        let mut out = Signal::empty(self.sample_rate);
+        self.render_window_into(listener, w, &mut out);
         out
     }
 
-    /// Render the scene at the microphone's position and pass it through
+    /// Render `[0, duration)` for a listener — a from-zero
+    /// [`Scene::render_window`].
+    pub fn render_at(&self, listener: Pos, duration: Duration) -> Signal {
+        self.render_window(listener, Window::from_start(duration))
+    }
+
+    /// A streaming renderer for consecutive windows at `listener`,
+    /// starting at time zero.
+    pub fn cursor(&self, listener: Pos) -> SceneCursor<'_> {
+        SceneCursor {
+            scene: self,
+            listener,
+            at: Duration::ZERO,
+            scratch: Signal::empty(self.sample_rate),
+        }
+    }
+
+    /// Render window `w` at the microphone's position and pass it through
     /// the microphone's capture chain (band limit, ADC resample, noise
-    /// floor, clipping).
-    pub fn capture(&self, mic: &Microphone, at: Pos, duration: Duration) -> Signal {
-        mic.capture(&self.render_at(at, duration))
+    /// floor, clipping) — the one capture implementation everything
+    /// (controller ticks included) goes through.
+    pub fn capture(&self, mic: &Microphone, at: Pos, w: Window) -> Signal {
+        mic.capture(&self.render_window(at, w))
     }
 
     /// Worst-case peak amplitude this scene's emissions can present at
@@ -307,6 +451,43 @@ impl Scene {
     }
 }
 
+/// A stateful streaming renderer: repeated [`SceneCursor::advance`] calls
+/// return consecutive windows of the listener's timeline through one
+/// reusable scratch buffer, so a closed control loop allocates nothing per
+/// tick and the concatenated chunks are byte-identical to one batch
+/// render ([`Window::sample_range`] makes adjacent windows tile the sample
+/// grid exactly).
+#[derive(Debug)]
+pub struct SceneCursor<'a> {
+    scene: &'a Scene,
+    listener: Pos,
+    at: Duration,
+    scratch: Signal,
+}
+
+impl SceneCursor<'_> {
+    /// The time the next [`SceneCursor::advance`] starts from.
+    pub fn position(&self) -> Duration {
+        self.at
+    }
+
+    /// Jump the cursor to `at` (the stream is seekable end to end).
+    pub fn seek(&mut self, at: Duration) {
+        self.at = at;
+    }
+
+    /// Render the next `len` of the stream and advance past it. The
+    /// returned signal borrows the cursor's scratch buffer and is valid
+    /// until the next call.
+    pub fn advance(&mut self, len: Duration) -> &Signal {
+        let w = Window::new(self.at, len);
+        self.scene
+            .render_window_into(self.listener, w, &mut self.scratch);
+        self.at = w.end();
+        &self.scratch
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,6 +499,10 @@ mod tests {
 
     fn tone(freq: f64, ms: u64, spl: f64) -> Signal {
         Tone::new(freq, Duration::from_millis(ms), spl_to_amplitude(spl)).render(SR)
+    }
+
+    fn win(from_ms: u64, len_ms: u64) -> Window {
+        Window::new(Duration::from_millis(from_ms), Duration::from_millis(len_ms))
     }
 
     #[test]
@@ -362,8 +547,8 @@ mod tests {
             "far",
         );
         let out = scene.render_at(Pos::ORIGIN, Duration::from_millis(400));
-        let early = out.window(Duration::ZERO, Duration::from_millis(80));
-        let later = out.window(Duration::from_millis(110), Duration::from_millis(80));
+        let early = out.window(win(0, 80));
+        let later = out.window(win(110, 80));
         let early_mag = Spectrum::of(&early).magnitude_at(2000.0);
         let later_mag = Spectrum::of(&later).magnitude_at(2000.0);
         assert!(
@@ -426,7 +611,7 @@ mod tests {
         let cap = scene.capture(
             &Microphone::measurement(),
             Pos::new(0.5, 0.0, 0.0),
-            Duration::from_millis(300),
+            Window::from_start(Duration::from_millis(300)),
         );
         assert_eq!(cap.sample_rate(), 44_100);
         let spec = Spectrum::of(&cap);
@@ -443,13 +628,12 @@ mod tests {
 
     #[test]
     fn speaker_dropout_silences_matching_emission() {
-        use crate::faults::{SceneFaultPlan, TimeWindow};
         let mut scene = Scene::quiet(SR);
         scene.add(Pos::ORIGIN, Duration::ZERO, tone(1000.0, 300, 60.0), "sw-1");
         let healthy = scene.render_at(Pos::new(0.5, 0.0, 0.0), Duration::from_millis(300));
         scene.set_faults(SceneFaultPlan::new(0).speaker_dropout(
             "sw-1",
-            TimeWindow::new(Duration::ZERO, Duration::from_secs(1)),
+            Window::between(Duration::ZERO, Duration::from_secs(1)),
         ));
         let muted = scene.render_at(Pos::new(0.5, 0.0, 0.0), Duration::from_millis(300));
         let h = Spectrum::of(&healthy).magnitude_at(1000.0);
@@ -459,7 +643,7 @@ mod tests {
         // Dropout window over: the speaker plays again.
         scene.set_faults(SceneFaultPlan::new(0).speaker_dropout(
             "sw-1",
-            TimeWindow::new(Duration::from_secs(2), Duration::from_secs(3)),
+            Window::between(Duration::from_secs(2), Duration::from_secs(3)),
         ));
         let later = scene.render_at(Pos::new(0.5, 0.0, 0.0), Duration::from_millis(300));
         assert!(Spectrum::of(&later).magnitude_at(1000.0) > spl_to_amplitude(55.0));
@@ -467,31 +651,29 @@ mod tests {
 
     #[test]
     fn mic_dead_window_zeroes_capture() {
-        use crate::faults::{SceneFaultPlan, TimeWindow};
         let mut scene = Scene::quiet(SR);
         scene.add(Pos::ORIGIN, Duration::ZERO, tone(1000.0, 400, 70.0), "sw");
-        scene.set_faults(SceneFaultPlan::new(0).mic_dead(TimeWindow::new(
+        scene.set_faults(SceneFaultPlan::new(0).mic_dead(Window::between(
             Duration::from_millis(100),
             Duration::from_millis(200),
         )));
         let out = scene.render_at(Pos::new(0.5, 0.0, 0.0), Duration::from_millis(400));
-        let dead = out.window(Duration::from_millis(110), Duration::from_millis(80));
+        let dead = out.window(win(110, 80));
         assert!(dead.samples().iter().all(|&s| s == 0.0), "dead window silent");
-        let alive = out.window(Duration::from_millis(250), Duration::from_millis(100));
+        let alive = out.window(win(250, 100));
         assert!(alive.samples().iter().any(|&s| s != 0.0));
     }
 
     #[test]
     fn noise_burst_raises_level_inside_window_only() {
-        use crate::faults::{SceneFaultPlan, TimeWindow};
         let mut scene = Scene::quiet(SR);
         scene.set_faults(SceneFaultPlan::new(7).noise_burst(
-            TimeWindow::new(Duration::from_millis(200), Duration::from_millis(400)),
+            Window::between(Duration::from_millis(200), Duration::from_millis(400)),
             65.0,
         ));
         let out = scene.render_at(Pos::ORIGIN, Duration::from_millis(600));
-        let quiet = out.window(Duration::ZERO, Duration::from_millis(180));
-        let loud = out.window(Duration::from_millis(210), Duration::from_millis(180));
+        let quiet = out.window(win(0, 180));
+        let loud = out.window(win(210, 180));
         assert!(
             loud.rms_spl() > quiet.rms_spl() + 20.0,
             "burst {} vs quiet {}",
@@ -501,6 +683,76 @@ mod tests {
         // Deterministic: same plan, same burst.
         let again = scene.render_at(Pos::ORIGIN, Duration::from_millis(600));
         assert_eq!(out.samples(), again.samples());
+    }
+
+    /// A scene exercising every render feature at once: overlapping
+    /// emissions at different distances, a far (delayed) source, an
+    /// ambient bed with every component, and all three fault kinds.
+    fn busy_scene() -> Scene {
+        let mut scene = Scene::new(SR, crate::ambient::AmbientProfile::datacenter());
+        scene.set_ambient_seed(11);
+        for i in 0..5 {
+            scene.add(
+                Pos::new(0.4 * (i + 1) as f64, 0.1, 0.0),
+                Duration::from_millis(120 * i as u64),
+                tone(500.0 + 150.0 * i as f64, 400, 62.0),
+                format!("sw-{i}"),
+            );
+        }
+        // 17 m away: ~50 ms of flight time pushes it across window edges.
+        scene.add(
+            Pos::new(17.0, 0.0, 0.0),
+            Duration::from_millis(300),
+            tone(1800.0, 200, 80.0),
+            "far",
+        );
+        scene.set_faults(
+            SceneFaultPlan::new(5)
+                .speaker_dropout("sw-2", Window::between(Duration::ZERO, Duration::from_secs(2)))
+                .noise_burst(win(350, 200), 70.0)
+                .mic_dead(win(600, 100)),
+        );
+        scene
+    }
+
+    #[test]
+    fn windowed_render_matches_full_render_slice() {
+        let scene = busy_scene();
+        let listener = Pos::new(0.9, -0.3, 0.2);
+        let full = scene.render_at(listener, Duration::from_millis(1000));
+        for (from, len) in [(0u64, 1000u64), (0, 130), (130, 300), (270, 1), (555, 445), (900, 300)]
+        {
+            let w = win(from, len);
+            let windowed = scene.render_window(listener, w);
+            let (a, b) = w.sample_range(SR);
+            let b_in = b.min(full.len());
+            assert_eq!(
+                &windowed.samples()[..b_in - a],
+                &full.samples()[a..b_in],
+                "window {from}+{len} ms diverged from the full render"
+            );
+        }
+    }
+
+    #[test]
+    fn cursor_chunks_concatenate_to_batch_render() {
+        let scene = busy_scene();
+        let listener = Pos::new(0.9, -0.3, 0.2);
+        let batch = scene.render_at(listener, Duration::from_millis(900));
+        // Uneven chunks, including ones that don't land on sample edges.
+        let mut cursor = scene.cursor(listener);
+        let mut streamed: Vec<f32> = Vec::new();
+        for chunk_ms in [70u64, 230, 1, 399, 200] {
+            streamed.extend_from_slice(cursor.advance(Duration::from_millis(chunk_ms)).samples());
+        }
+        assert_eq!(cursor.position(), Duration::from_millis(900));
+        assert_eq!(streamed, batch.samples(), "streamed chunks diverged");
+        // The cursor is seekable: jumping back re-renders identically.
+        cursor.seek(Duration::from_millis(230));
+        let again = cursor.advance(Duration::from_millis(71));
+        let w = win(230, 71);
+        let (a, b) = w.sample_range(SR);
+        assert_eq!(again.samples(), &batch.samples()[a..b]);
     }
 
     #[test]
@@ -535,7 +787,6 @@ mod tests {
 
     #[test]
     fn obs_counters_mirror_scene_activity() {
-        use crate::faults::{SceneFaultPlan, TimeWindow};
         let registry = Registry::new();
         let mut scene = Scene::quiet(SR);
         scene.add(Pos::ORIGIN, Duration::ZERO, tone(1000.0, 200, 60.0), "sw-1");
@@ -546,16 +797,10 @@ mod tests {
             SceneFaultPlan::new(3)
                 .speaker_dropout(
                     "sw-1",
-                    TimeWindow::new(Duration::ZERO, Duration::from_secs(1)),
+                    Window::between(Duration::ZERO, Duration::from_secs(1)),
                 )
-                .noise_burst(
-                    TimeWindow::new(Duration::from_millis(50), Duration::from_millis(100)),
-                    65.0,
-                )
-                .mic_dead(TimeWindow::new(
-                    Duration::from_millis(120),
-                    Duration::from_millis(160),
-                )),
+                .noise_burst(win(50, 50), 65.0)
+                .mic_dead(win(120, 40)),
         );
         scene.render_at(Pos::new(0.5, 0.0, 0.0), Duration::from_millis(200));
         let snap = registry.snapshot();

@@ -43,4 +43,4 @@ pub mod synth;
 pub mod wav;
 pub mod window;
 
-pub use signal::Signal;
+pub use signal::{Signal, Window};

@@ -11,7 +11,14 @@
 //!   occupancy, which exercises the identical detection path,
 //! * narrowband interferers (a rogue tone), for robustness tests.
 //!
-//! All generators are seeded and fully deterministic.
+//! All generators are seeded and fully deterministic — and **seekable**:
+//! sample `i` of a stream is a pure function of `(seed, i)` (white, pink)
+//! or of `i`'s position within a fixed absolute block grid (band noise),
+//! never of a sequential RNG. That is what lets the windowed render path
+//! (`Scene::render_window`) start an ambient bed mid-stream and still
+//! produce output byte-identical to a from-zero render: the `*_noise_at`
+//! entry points generate `[from, from + n)` of the infinite stream
+//! without touching the prefix.
 
 use crate::signal::{duration_to_samples, Signal};
 use crate::synth::{Oscillator, Tone};
@@ -19,53 +26,218 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Duration;
 
+/// splitmix64 finalizer: the stateless hash behind every counter-based
+/// generator here.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform in `[-0.5, 0.5)` from 32 hash bits.
+#[inline]
+fn uniform_half(bits: u64) -> f64 {
+    (bits & 0xFFFF_FFFF) as f64 / 4_294_967_296.0 - 0.5
+}
+
+/// One sample of the unit-variance-ish white stream for `(seed, index)`:
+/// Irwin–Hall(4) — the sum of four uniforms in `[-0.5, 0.5)`, variance
+/// `4/12 = 1/3`. Pure function of its arguments, hence seekable.
+#[inline]
+fn white_sample(seed_hash: u64, index: u64) -> f64 {
+    let h1 = splitmix64(index.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed_hash);
+    let h2 = splitmix64(h1);
+    uniform_half(h1) + uniform_half(h1 >> 32) + uniform_half(h2) + uniform_half(h2 >> 32)
+}
+
+/// Amplitude scale taking the Irwin–Hall(4) stream (std `1/√3`) to `rms`.
+#[inline]
+fn white_scale(rms: f64) -> f64 {
+    rms / (1.0 / 3f64).sqrt()
+}
+
 /// Gaussian-ish white noise (sum of 4 uniforms, Irwin–Hall), deterministic
-/// under `seed`, with RMS ≈ `rms`.
+/// under `seed`, with RMS ≈ `rms`. Samples `[0, duration)` of the stream;
+/// see [`white_noise_at`] to start mid-stream.
 pub fn white_noise(duration: Duration, rms: f64, sample_rate: u32, seed: u64) -> Signal {
-    let n = duration_to_samples(duration, sample_rate);
-    let mut rng = StdRng::seed_from_u64(seed);
-    // Irwin-Hall(4) centered: variance 4/12 = 1/3, std = 0.577.
-    let scale = rms / (1.0 / 3f64).sqrt();
-    let samples = (0..n)
-        .map(|_| {
-            let s: f64 = (0..4).map(|_| rng.gen_range(-0.5..0.5)).sum();
-            (s * scale) as f32
-        })
+    white_noise_at(0, duration_to_samples(duration, sample_rate), rms, sample_rate, seed)
+}
+
+/// Samples `[from, from + n)` of the seeded white-noise stream — the same
+/// values a from-zero [`white_noise`] would produce at those indices.
+pub fn white_noise_at(from: u64, n: usize, rms: f64, sample_rate: u32, seed: u64) -> Signal {
+    let k = splitmix64(seed);
+    let scale = white_scale(rms);
+    let samples = (0..n as u64)
+        .map(|i| (white_sample(k, from + i) * scale) as f32)
         .collect();
     Signal::from_samples(samples, sample_rate)
 }
 
-/// Pink (1/f) noise via the Voss–McCartney algorithm with 16 octave rows,
-/// normalized to RMS ≈ `rms`.
+/// Add samples `[from, from + out.len())` of the seeded white-noise stream
+/// into `out`, one `+= (v·scale) as f32` per sample — the allocation-free
+/// mixing primitive the windowed ambient/fault paths build on.
+pub fn white_noise_add(out: &mut [f32], from: u64, rms: f64, seed: u64) {
+    let k = splitmix64(seed);
+    let scale = white_scale(rms);
+    for (i, o) in out.iter_mut().enumerate() {
+        *o += (white_sample(k, from + i as u64) * scale) as f32;
+    }
+}
+
+/// Octave rows of the Voss–McCartney pink-noise generator. 12 rows keep
+/// the `1/f` tilt down to ~10 Hz at 44.1 kHz while the slowest row still
+/// refreshes ~10×/s, keeping the short-window RMS close to its analytic
+/// expectation.
+const PINK_ROWS: usize = 12;
+
+/// Per-row hashed salts so rows draw independent streams.
+#[inline]
+fn pink_salts(seed: u64) -> [u64; PINK_ROWS] {
+    let mut salts = [0u64; PINK_ROWS];
+    for (r, s) in salts.iter_mut().enumerate() {
+        *s = splitmix64(seed ^ (r as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+    }
+    salts
+}
+
+/// One sample of the unscaled pink stream: row `r` holds a uniform in
+/// `[-1, 1)` that refreshes every `2^r` samples (rows staggered by half a
+/// period so they don't all step at once); the sample is the row sum.
+/// Each row value is a hash of its block index — a pure function of
+/// `(seed, i)`, hence seekable. Row variance is `1/3`, so the sum's RMS
+/// is exactly `√(PINK_ROWS/3)` in expectation.
+#[inline]
+fn pink_sample(salts: &[u64; PINK_ROWS], index: u64) -> f64 {
+    let mut sum = 0.0;
+    for (r, &salt) in salts.iter().enumerate() {
+        let block = (index + ((1u64 << r) >> 1)) >> r;
+        sum += uniform_half(splitmix64(block ^ salt)) * 2.0;
+    }
+    sum
+}
+
+/// Pink (1/f) noise via a hashed Voss–McCartney scheme with
+/// [`PINK_ROWS`] octave rows, calibrated analytically to RMS ≈ `rms`.
+/// Samples `[0, duration)` of the stream; see [`pink_noise_at`].
 pub fn pink_noise(duration: Duration, rms: f64, sample_rate: u32, seed: u64) -> Signal {
-    const ROWS: usize = 16;
-    let n = duration_to_samples(duration, sample_rate);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut rows = [0.0f64; ROWS];
-    for r in rows.iter_mut() {
-        *r = rng.gen_range(-1.0..1.0);
+    pink_noise_at(0, duration_to_samples(duration, sample_rate), rms, sample_rate, seed)
+}
+
+/// Samples `[from, from + n)` of the seeded pink-noise stream.
+pub fn pink_noise_at(from: u64, n: usize, rms: f64, sample_rate: u32, seed: u64) -> Signal {
+    let salts = pink_salts(seed);
+    let scale = rms / (PINK_ROWS as f64 / 3.0).sqrt();
+    let samples = (0..n as u64)
+        .map(|i| (pink_sample(&salts, from + i) * scale) as f32)
+        .collect();
+    Signal::from_samples(samples, sample_rate)
+}
+
+/// Add samples `[from, from + out.len())` of the seeded pink-noise stream
+/// into `out`.
+pub fn pink_noise_add(out: &mut [f32], from: u64, rms: f64, seed: u64) {
+    let salts = pink_salts(seed);
+    let scale = rms / (PINK_ROWS as f64 / 3.0).sqrt();
+    for (i, o) in out.iter_mut().enumerate() {
+        *o += (pink_sample(&salts, from + i as u64) * scale) as f32;
     }
-    let mut raw = Vec::with_capacity(n);
-    for i in 0..n {
-        // Update the row selected by the number of trailing ones of i
-        // (Voss-McCartney update schedule).
-        let row = (i.trailing_zeros() as usize).min(ROWS - 1);
-        rows[row] = rng.gen_range(-1.0..1.0);
-        raw.push(rows.iter().sum::<f64>());
+}
+
+/// Band-noise block grid: the IIR filter state is re-derived per absolute
+/// block of this many samples, so any block can be generated alone.
+const BAND_BLOCK: u64 = 1 << 14;
+
+/// Warm-up run-in before each block, from zero state. The slowest pole in
+/// any profile (100 Hz low cutoff) decays by `e^{-2π·100·4096/44100}` ≈
+/// 10⁻²⁶ over this run-in, so the truncated pre-history is far below f32
+/// resolution — while staying an absolute function of the block index,
+/// which is what makes the stream seekable *and* byte-stable across
+/// arbitrary windows.
+const BAND_WARMUP: u64 = 1 << 12;
+
+/// One-pole lowpass coefficient for cutoff `fc`.
+#[inline]
+fn one_pole_alpha(fc: f64, sample_rate: u32) -> f64 {
+    let dt = 1.0 / sample_rate as f64;
+    let rc = 1.0 / (2.0 * std::f64::consts::PI * fc);
+    dt / (rc + dt)
+}
+
+/// Analytic RMS gain of the cascaded band section pair for unit-variance
+/// white input: the cascade is `H(z) = (H_hi(z) − H_lo(z))²` with
+/// `H_c(z) = a_c / (1 − (1−a_c)·z⁻¹)`, so the output power is the white
+/// input power times the mean of `|H_hi − H_lo|⁴` over frequency.
+/// Evaluated by midpoint quadrature — deterministic, duration-free, and
+/// the reason the generator no longer needs a measured-RMS normalization
+/// pass (which would have made the stream un-seekable).
+fn band_gain_rms(a_hi: f64, a_lo: f64) -> f64 {
+    const M: usize = 4096;
+    let response_sq = |a: f64, w: f64| -> (f64, f64) {
+        // H(e^{jw}) = a / ((1 − (1−a)cos w) + j(1−a)sin w)
+        let re_d = 1.0 - (1.0 - a) * w.cos();
+        let im_d = (1.0 - a) * w.sin();
+        let den = re_d * re_d + im_d * im_d;
+        (a * re_d / den, -a * im_d / den)
+    };
+    let mut acc = 0.0;
+    for m in 0..M {
+        let w = std::f64::consts::PI * (m as f64 + 0.5) / M as f64;
+        let (hr, hi) = response_sq(a_hi, w);
+        let (lr, li) = response_sq(a_lo, w);
+        let (dr, di) = (hr - lr, hi - li);
+        let mag_sq = dr * dr + di * di;
+        acc += mag_sq * mag_sq; // |H_hi − H_lo|⁴ = |cascade|²
     }
-    let raw_rms = (raw.iter().map(|v| v * v).sum::<f64>() / raw.len().max(1) as f64)
-        .sqrt()
-        .max(1e-12);
-    let scale = rms / raw_rms;
-    Signal::from_samples(
-        raw.into_iter().map(|v| (v * scale) as f32).collect(),
-        sample_rate,
-    )
+    (acc / M as f64).sqrt()
+}
+
+/// Run the band filter over absolute indices, adding scaled output for
+/// indices within `[from, from + out.len())` into `out`.
+fn band_noise_run(
+    out: &mut [f32],
+    from: u64,
+    a_hi: f64,
+    a_lo: f64,
+    scale: f64,
+    seed_hash: u64,
+) {
+    if out.is_empty() {
+        return;
+    }
+    let end = from + out.len() as u64;
+    let white = white_scale(1.0);
+    let (first_block, last_block) = (from / BAND_BLOCK, (end - 1) / BAND_BLOCK);
+    for block in first_block..=last_block {
+        // Warm-up may reach below index 0 for block 0: the conceptual
+        // stream is indexed in two's complement, so negative indices hash
+        // deterministically too.
+        let sim_start = (block * BAND_BLOCK) as i64 - BAND_WARMUP as i64;
+        let sim_end = ((block + 1) * BAND_BLOCK).min(end) as i64;
+        // Only this block's own samples are written; a block's warm-up may
+        // overlap the previous block's range, which the previous block owns.
+        let write_from = ((block * BAND_BLOCK) as i64).max(from as i64);
+        let mut state = [0.0f64; 4]; // [hi1, lo1, hi2, lo2]
+        for i in sim_start..sim_end {
+            let x = white_sample(seed_hash, i as u64) * white;
+            state[0] += a_hi * (x - state[0]);
+            state[1] += a_lo * (x - state[1]);
+            let band1 = state[0] - state[1];
+            state[2] += a_hi * (band1 - state[2]);
+            state[3] += a_lo * (band1 - state[3]);
+            if i >= write_from {
+                out[(i - from as i64) as usize] += ((state[2] - state[3]) * scale) as f32;
+            }
+        }
+    }
 }
 
 /// Band-limited noise: white noise passed through a crude bandpass
-/// (implemented as a difference of one-pole lowpasses), normalized to
-/// RMS ≈ `rms`.
+/// (a cascaded difference of one-pole lowpasses), calibrated analytically
+/// to RMS ≈ `rms`. Samples `[0, duration)` of the stream; see
+/// [`band_noise_at`].
 pub fn band_noise(
     duration: Duration,
     lo_hz: f64,
@@ -74,33 +246,51 @@ pub fn band_noise(
     sample_rate: u32,
     seed: u64,
 ) -> Signal {
-    assert!(hi_hz > lo_hz && lo_hz > 0.0, "bad band {lo_hz}..{hi_hz}");
-    let white = white_noise(duration, 1.0, sample_rate, seed);
-    let dt = 1.0 / sample_rate as f64;
-    let alpha = |fc: f64| {
-        let rc = 1.0 / (2.0 * std::f64::consts::PI * fc);
-        dt / (rc + dt)
-    };
-    let (a_hi, a_lo) = (alpha(hi_hz), alpha(lo_hz));
-    // Two cascaded band sections for a usably steep rolloff.
-    let mut state = [0.0f64; 4]; // [hi1, lo1, hi2, lo2]
-    let mut out = Vec::with_capacity(white.len());
-    for &x in white.samples() {
-        state[0] += a_hi * (x as f64 - state[0]); // lowpass at hi cutoff
-        state[1] += a_lo * (x as f64 - state[1]); // lowpass at lo cutoff
-        let band1 = state[0] - state[1];
-        state[2] += a_hi * (band1 - state[2]);
-        state[3] += a_lo * (band1 - state[3]);
-        out.push(state[2] - state[3]);
-    }
-    let raw_rms = (out.iter().map(|v| v * v).sum::<f64>() / out.len().max(1) as f64)
-        .sqrt()
-        .max(1e-12);
-    let scale = rms / raw_rms;
-    Signal::from_samples(
-        out.into_iter().map(|v| (v * scale) as f32).collect(),
+    band_noise_at(
+        0,
+        duration_to_samples(duration, sample_rate),
+        lo_hz,
+        hi_hz,
+        rms,
         sample_rate,
+        seed,
     )
+}
+
+/// Samples `[from, from + n)` of the seeded band-noise stream. The filter
+/// state is reconstructed on an absolute block grid ([`BAND_BLOCK`] with
+/// [`BAND_WARMUP`] run-in), so the values are byte-identical no matter
+/// which window of the stream is requested.
+pub fn band_noise_at(
+    from: u64,
+    n: usize,
+    lo_hz: f64,
+    hi_hz: f64,
+    rms: f64,
+    sample_rate: u32,
+    seed: u64,
+) -> Signal {
+    let mut out = Signal::from_samples(vec![0.0; n], sample_rate);
+    band_noise_add(out.samples_mut(), from, lo_hz, hi_hz, rms, sample_rate, seed);
+    out
+}
+
+/// Add samples `[from, from + out.len())` of the seeded band-noise stream
+/// into `out`.
+pub fn band_noise_add(
+    out: &mut [f32],
+    from: u64,
+    lo_hz: f64,
+    hi_hz: f64,
+    rms: f64,
+    sample_rate: u32,
+    seed: u64,
+) {
+    assert!(hi_hz > lo_hz && lo_hz > 0.0, "bad band {lo_hz}..{hi_hz}");
+    let a_hi = one_pole_alpha(hi_hz, sample_rate);
+    let a_lo = one_pole_alpha(lo_hz, sample_rate);
+    let scale = rms / band_gain_rms(a_hi, a_lo).max(1e-12);
+    band_noise_run(out, from, a_hi, a_lo, scale, splitmix64(seed));
 }
 
 /// Equal-tempered pitch: MIDI note number to Hz (A4 = 69 = 440 Hz).
@@ -307,5 +497,53 @@ mod tests {
     #[should_panic(expected = "bad band")]
     fn band_noise_rejects_inverted_band() {
         band_noise(Duration::from_millis(10), 2000.0, 1000.0, 0.1, SR, 1);
+    }
+
+    #[test]
+    fn white_noise_is_seekable() {
+        let full = white_noise(Duration::from_millis(500), 0.1, SR, 99);
+        let mid = white_noise_at(5_000, 2_000, 0.1, SR, 99);
+        assert_eq!(mid.samples(), &full.samples()[5_000..7_000]);
+    }
+
+    #[test]
+    fn pink_noise_is_seekable() {
+        let full = pink_noise(Duration::from_millis(500), 0.1, SR, 99);
+        let mid = pink_noise_at(5_000, 2_000, 0.1, SR, 99);
+        assert_eq!(mid.samples(), &full.samples()[5_000..7_000]);
+    }
+
+    #[test]
+    fn band_noise_is_seekable_across_block_boundaries() {
+        // [15_000, 19_000) straddles the 16_384-sample block boundary, so
+        // this checks both the intra-block path and the grid alignment.
+        let full = band_noise(Duration::from_millis(500), 800.0, 1600.0, 0.1, SR, 99);
+        let mid = band_noise_at(15_000, 4_000, 800.0, 1600.0, 0.1, SR, 99);
+        assert_eq!(mid.samples(), &full.samples()[15_000..19_000]);
+    }
+
+    #[test]
+    fn band_noise_analytic_rms_is_calibrated() {
+        let s = band_noise(Duration::from_secs(2), 200.0, 2000.0, 0.1, SR, 5);
+        assert!((s.rms() - 0.1).abs() < 0.02, "rms {}", s.rms());
+    }
+
+    #[test]
+    fn noise_add_variants_match_at_variants() {
+        let n = 3_000;
+        let mut acc = vec![0.0f32; n];
+        white_noise_add(&mut acc, 1_234, 0.1, 7);
+        let alone = white_noise_at(1_234, n, 0.1, SR, 7);
+        assert_eq!(&acc, alone.samples());
+
+        let mut acc = vec![0.0f32; n];
+        pink_noise_add(&mut acc, 1_234, 0.1, 7);
+        let alone = pink_noise_at(1_234, n, 0.1, SR, 7);
+        assert_eq!(&acc, alone.samples());
+
+        let mut acc = vec![0.0f32; n];
+        band_noise_add(&mut acc, 1_234, 500.0, 1500.0, 0.1, SR, 7);
+        let alone = band_noise_at(1_234, n, 500.0, 1500.0, 0.1, SR, 7);
+        assert_eq!(&acc, alone.samples());
     }
 }

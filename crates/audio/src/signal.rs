@@ -60,6 +60,90 @@ pub fn amplitude_to_spl(amplitude: f64) -> f64 {
     ratio_to_db(amplitude) + SPL_FULL_SCALE_DB
 }
 
+/// A half-open time window `[from, from + len)` on a shared timeline.
+///
+/// This is *the* capture-window currency of the workspace: scene renders,
+/// controller captures/listens, fault-plan intervals and signal slicing
+/// all take a `Window` instead of ad-hoc `(from, len)` / `(from, to)`
+/// `Duration` pairs. A window maps to the absolute sample range
+/// [`Window::sample_range`] — `[round(from·sr), round(end·sr))` — so
+/// adjacent windows tile the sample grid exactly: rendering `[a, b)` and
+/// `[b, c)` separately concatenates bit-for-bit into a render of `[a, c)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Window {
+    /// Window start (inclusive).
+    pub from: Duration,
+    /// Window length.
+    pub len: Duration,
+}
+
+impl Window {
+    /// The window `[from, from + len)`.
+    pub fn new(from: Duration, len: Duration) -> Self {
+        Self { from, len }
+    }
+
+    /// The window `[0, len)` — a render "from the start", as
+    /// `Scene::render_at` has always meant.
+    pub fn from_start(len: Duration) -> Self {
+        Self {
+            from: Duration::ZERO,
+            len,
+        }
+    }
+
+    /// The window `[from, to)`.
+    ///
+    /// # Panics
+    /// Panics unless `from <= to`.
+    pub fn between(from: Duration, to: Duration) -> Self {
+        assert!(from <= to, "window must start before it ends");
+        Self {
+            from,
+            len: to - from,
+        }
+    }
+
+    /// Window end (exclusive): `from + len`.
+    pub fn end(&self) -> Duration {
+        self.from + self.len
+    }
+
+    /// True for a zero-length window.
+    pub fn is_empty(&self) -> bool {
+        self.len.is_zero()
+    }
+
+    /// Does the window contain `t`?
+    pub fn contains(&self, t: Duration) -> bool {
+        t >= self.from && t < self.end()
+    }
+
+    /// The overlap of two windows, or `None` when they are disjoint
+    /// (sharing only an endpoint counts as disjoint).
+    pub fn intersect(&self, other: &Window) -> Option<Window> {
+        let from = self.from.max(other.from);
+        let to = self.end().min(other.end());
+        (from < to).then(|| Window::between(from, to))
+    }
+
+    /// The absolute sample range `[round(from·sr), round(end·sr))` this
+    /// window covers at `sample_rate`. Deriving both endpoints from the
+    /// timeline (rather than rounding the length) is what makes adjacent
+    /// windows tile the sample grid without gaps or overlaps.
+    pub fn sample_range(&self, sample_rate: u32) -> (usize, usize) {
+        let a = duration_to_samples(self.from, sample_rate);
+        let b = duration_to_samples(self.end(), sample_rate);
+        (a, b.max(a))
+    }
+
+    /// Number of samples the window covers at `sample_rate`.
+    pub fn num_samples(&self, sample_rate: u32) -> usize {
+        let (a, b) = self.sample_range(sample_rate);
+        b - a
+    }
+}
+
 /// A mono buffer of `f32` samples at a fixed sample rate.
 #[derive(Clone, PartialEq)]
 pub struct Signal {
@@ -216,11 +300,18 @@ impl Signal {
         Signal::from_samples(self.samples[start..end].to_vec(), self.sample_rate)
     }
 
-    /// Extract the time window `[from, from + len)` as a new signal.
-    pub fn window(&self, from: Duration, len: Duration) -> Signal {
-        let start = duration_to_samples(from, self.sample_rate);
-        let n = duration_to_samples(len, self.sample_rate);
-        self.slice(start, start + n)
+    /// Extract the time window `w` as a new signal, covering exactly
+    /// `w.sample_range(self.sample_rate())` (clamped to the buffer).
+    pub fn window(&self, w: Window) -> Signal {
+        let (start, end) = w.sample_range(self.sample_rate);
+        self.slice(start, end)
+    }
+
+    /// Reset the buffer to `n` zero samples, keeping allocated capacity —
+    /// the scratch-reuse primitive behind the windowed render path.
+    pub fn reset(&mut self, n: usize) {
+        self.samples.clear();
+        self.samples.resize(n, 0.0);
     }
 
     /// Append another signal (must share the sample rate).
@@ -376,9 +467,64 @@ mod tests {
         let sr = 1_000;
         let samples: Vec<f32> = (0..1000).map(|i| i as f32).collect();
         let s = Signal::from_samples(samples, sr);
-        let w = s.window(Duration::from_millis(100), Duration::from_millis(50));
+        let w = s.window(Window::new(
+            Duration::from_millis(100),
+            Duration::from_millis(50),
+        ));
         assert_eq!(w.len(), 50);
         assert_eq!(w.samples()[0], 100.0);
+    }
+
+    #[test]
+    fn window_endpoints_are_half_open() {
+        let w = Window::between(Duration::from_millis(100), Duration::from_millis(200));
+        assert!(!w.contains(Duration::from_millis(99)));
+        assert!(w.contains(Duration::from_millis(100)));
+        assert!(w.contains(Duration::from_millis(199)));
+        assert!(!w.contains(Duration::from_millis(200)));
+        assert_eq!(w.end(), Duration::from_millis(200));
+    }
+
+    #[test]
+    #[should_panic(expected = "start before")]
+    fn window_rejects_inverted_endpoints() {
+        Window::between(Duration::from_millis(200), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn window_intersection() {
+        let ms = Duration::from_millis;
+        let a = Window::between(ms(100), ms(300));
+        let b = Window::between(ms(200), ms(400));
+        assert_eq!(a.intersect(&b), Some(Window::between(ms(200), ms(300))));
+        let c = Window::between(ms(300), ms(400));
+        assert_eq!(a.intersect(&c), None, "touching windows are disjoint");
+        assert_eq!(a.intersect(&a), Some(a));
+    }
+
+    #[test]
+    fn adjacent_windows_tile_the_sample_grid() {
+        // Fractional boundaries: rounding each endpoint (not the length)
+        // means [a,b) and [b,c) never overlap or leave a gap.
+        let sr = 44_100;
+        let a = Window::between(Duration::ZERO, Duration::from_micros(10_700));
+        let b = Window::between(Duration::from_micros(10_700), Duration::from_micros(21_300));
+        let (_, a_end) = a.sample_range(sr);
+        let (b_start, _) = b.sample_range(sr);
+        assert_eq!(a_end, b_start);
+        assert_eq!(
+            a.num_samples(sr) + b.num_samples(sr),
+            Window::between(Duration::ZERO, Duration::from_micros(21_300)).num_samples(sr)
+        );
+    }
+
+    #[test]
+    fn reset_zeroes_and_resizes() {
+        let mut s = Signal::from_samples(vec![1.0, 2.0, 3.0], 8_000);
+        s.reset(2);
+        assert_eq!(s.samples(), &[0.0, 0.0]);
+        s.reset(4);
+        assert_eq!(s.samples(), &[0.0; 4]);
     }
 
     #[test]

@@ -208,7 +208,10 @@ mod tests {
         ];
         let s = render_sequence(&seq, SR);
         // The gap between tones (40..90 ms) should be silent.
-        let gap = s.window(Duration::from_millis(40), Duration::from_millis(50));
+        let gap = s.window(crate::signal::Window::new(
+            Duration::from_millis(40),
+            Duration::from_millis(50),
+        ));
         assert_eq!(gap.rms(), 0.0);
         // Total length reaches the end of the second tone.
         assert_eq!(s.len(), duration_to_samples(Duration::from_millis(130), SR));

@@ -13,6 +13,7 @@ use mdn_core::apps::fanfail::FanFailureDetector;
 use mdn_core::fan::{FanModel, FanState};
 use std::hint::black_box;
 use std::time::Duration;
+use mdn_acoustics::Window;
 
 const SR: u32 = 44_100;
 
@@ -29,11 +30,7 @@ fn capture(state: FanState, seed: u64) -> mdn_audio::Signal {
         fan.render(Duration::from_secs(1), SR, seed),
         "srv",
     );
-    scene.capture(
-        &Microphone::measurement(),
-        Pos::new(0.3, 0.0, 0.0),
-        Duration::from_secs(1),
-    )
+    scene.capture(&Microphone::measurement(), Pos::new(0.3, 0.0, 0.0), Window::from_start(Duration::from_secs(1)))
 }
 
 fn bench_fan_model(c: &mut Criterion) {

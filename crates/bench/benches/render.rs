@@ -1,0 +1,156 @@
+//! Windowed-render tick-loop sweep: per-tick capture cost vs. elapsed
+//! scene time (the O(window) claim, quantified).
+//!
+//! A long-running closed loop wakes every tick and captures only the tick
+//! it slept through. Before windowed rendering, each capture re-rendered
+//! the scene from zero — O(elapsed) per tick, O(T²) for the loop. This
+//! sweep builds one scene with tones spread over several simulated
+//! minutes, then times a single 250 ms tick capture at increasing elapsed
+//! positions, through both paths:
+//!
+//! * `windowed_tick_ms` — `Scene::render_window` at the tick's window;
+//! * `full_tick_ms` — render from zero to the tick's end and slice (the
+//!   pre-windowed-API behaviour).
+//!
+//! The windowed cost must stay flat as elapsed time grows while the full
+//! render grows linearly. Writes `BENCH_render.json` at the workspace
+//! root.
+//!
+//! `cargo bench -p mdn-bench --bench render -- --test` runs one small
+//! point, asserts the two paths byte-identical, and skips the JSON (CI
+//! uses this).
+
+use mdn_acoustics::ambient::AmbientProfile;
+use mdn_acoustics::medium::Pos;
+use mdn_acoustics::scene::Scene;
+use mdn_acoustics::Window;
+use mdn_audio::synth::Tone;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const SR: u32 = 44_100;
+const TICK: Duration = Duration::from_millis(250);
+/// Elapsed-time points of the sweep (seconds into the scene).
+const ELAPSED_S: [u64; 5] = [15, 30, 60, 120, 240];
+
+/// A scene whose emissions cover `total` of timeline: one 80 ms tone every
+/// 500 ms, cycling over a few sources, over an office bed — so every tick
+/// window has real mixing work in it, and the emission index has a long
+/// timeline to prune.
+fn build(total: Duration) -> Scene {
+    let mut scene = Scene::new(SR, AmbientProfile::office());
+    scene.set_ambient_seed(42);
+    let period = Duration::from_millis(500);
+    let mut at = Duration::ZERO;
+    let mut k = 0usize;
+    while at + period <= total {
+        let freq = 600.0 + 37.0 * (k % 40) as f64;
+        let tone = Tone::new(freq, Duration::from_millis(80), 0.05).render(SR);
+        let x = 0.5 + (k % 5) as f64;
+        scene.add(Pos::new(x, 0.0, 0.0), at, tone, format!("sw-{}", k % 5));
+        at += period;
+        k += 1;
+    }
+    scene
+}
+
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+#[derive(serde::Serialize)]
+struct Row {
+    elapsed_s: u64,
+    windowed_tick_ms: f64,
+    full_tick_ms: f64,
+    speedup: f64,
+}
+
+fn tick_window(elapsed: Duration) -> Window {
+    Window::new(elapsed - TICK, TICK)
+}
+
+/// The pre-windowed-API tick: render everything from zero, keep the tick.
+fn full_render_tick(scene: &Scene, listener: Pos, w: Window) -> mdn_audio::Signal {
+    scene.render_at(listener, w.end()).window(w)
+}
+
+fn sweep_and_report(smoke: bool) {
+    let listener = Pos::new(0.25, 0.3, 0.0);
+
+    // Correctness gate for the speed claim: the windowed tick is
+    // byte-identical to the slice of a from-zero render.
+    {
+        let total = Duration::from_secs(if smoke { 5 } else { 15 });
+        let scene = build(total);
+        let w = tick_window(total);
+        let windowed = scene.render_window(listener, w);
+        let full = full_render_tick(&scene, listener, w);
+        assert_eq!(
+            windowed.samples(),
+            full.samples(),
+            "windowed tick diverged from the full-render slice"
+        );
+    }
+    if smoke {
+        eprintln!("render sweep smoke: windowed tick == full-render slice");
+        return;
+    }
+
+    let reps = 3;
+    let scene = build(Duration::from_secs(*ELAPSED_S.last().unwrap()));
+    let mut rows: Vec<Row> = Vec::new();
+    for &s in &ELAPSED_S {
+        let w = tick_window(Duration::from_secs(s));
+        let windowed_tick_ms = best_of(reps, || {
+            black_box(scene.render_window(listener, w));
+        });
+        let full_tick_ms = best_of(reps, || {
+            black_box(full_render_tick(&scene, listener, w));
+        });
+        rows.push(Row {
+            elapsed_s: s,
+            windowed_tick_ms,
+            full_tick_ms,
+            speedup: full_tick_ms / windowed_tick_ms,
+        });
+    }
+
+    let first = &rows[0];
+    let last = &rows[rows.len() - 1];
+    // Per-tick cost growth across a 16× growth in elapsed time: ~1 for
+    // the windowed path, ~16 for the full render.
+    let windowed_growth = last.windowed_tick_ms / first.windowed_tick_ms;
+    let full_growth = last.full_tick_ms / first.full_tick_ms;
+    let summary = serde_json::json!({
+        "bench": "render",
+        "unit": "milliseconds (best of 3)",
+        "sample_rate": SR,
+        "tick_ms": TICK.as_millis() as u64,
+        "elapsed_points_s": ELAPSED_S,
+        "windowed_growth": windowed_growth,
+        "full_render_growth": full_growth,
+        "speedup_at_max_elapsed": last.speedup,
+        "rows": rows,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_render.json");
+    std::fs::write(path, serde_json::to_string_pretty(&summary).unwrap() + "\n")
+        .expect("write BENCH_render.json");
+    eprintln!(
+        "render: tick cost growth over {}s→{}s elapsed: windowed {windowed_growth:.2}×, \
+         full render {full_growth:.2}×; windowed speedup at {}s = {:.1}×",
+        first.elapsed_s, last.elapsed_s, last.elapsed_s, last.speedup
+    );
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    sweep_and_report(smoke);
+}

@@ -17,6 +17,7 @@ use mdn_core::cells::{CellConfig, CellPlan, ShardedController};
 use std::collections::BTreeSet;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
+use mdn_acoustics::Window;
 
 const SR: u32 = 44_100;
 const CELL_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -55,15 +56,11 @@ fn build(cells: usize) -> CellRun {
     }
 }
 
-fn listen(run: &CellRun, threads: usize) -> Vec<mdn_core::cells::CellEvent> {
+fn listen(run: &CellRun, threads: usize) -> Vec<mdn_core::cells::ShardEvent> {
     let mut sharded = ShardedController::new(&run.plan);
     sharded.set_threads(threads);
-    sharded.calibrate(&run.scene, Duration::ZERO, Duration::from_millis(300));
-    sharded.listen(
-        &run.scene,
-        Duration::from_millis(350),
-        Duration::from_millis(350),
-    )
+    sharded.calibrate(&run.scene, Window::from_start(Duration::from_millis(300)));
+    sharded.listen(&run.scene, Window::new(Duration::from_millis(350), Duration::from_millis(350)))
 }
 
 fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
@@ -118,7 +115,7 @@ fn sweep_and_report(smoke: bool) {
             let events = listen(&run, threads);
             let heard: BTreeSet<(usize, String, usize)> = events
                 .iter()
-                .map(|e| (e.cell, e.event.device.clone(), e.event.slot))
+                .map(|e| (e.shard, e.event.device.clone(), e.event.slot))
                 .collect();
             let decoded = heard.intersection(&run.expected).count();
             let false_events = heard.difference(&run.expected).count();

@@ -29,6 +29,7 @@ use mdn_net::packet::{FlowKey, Ip};
 use mdn_net::traffic::TrafficPattern;
 use serde::Serialize;
 use std::time::Duration;
+use mdn_acoustics::Window;
 
 /// Result of the monitoring ablation.
 #[derive(Debug, Clone, Serialize)]
@@ -191,7 +192,7 @@ pub fn monitoring_under_congestion() -> MonitoringAblationResult {
         .collect();
     // MDN outcome: decode all tones post-hoc.
     let monitor = QueueMonitor::new("s1", mapper);
-    let events = ctl.listen(&scene, Duration::ZERO, total + Duration::from_millis(200));
+    let events = ctl.listen(&scene, Window::from_start(total + Duration::from_millis(200)));
     let decoded = monitor.reports(&events);
     // A tone sent at `at` is heard if some decoded report lands within
     // ±160 ms with the right band.

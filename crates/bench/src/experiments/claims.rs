@@ -14,6 +14,7 @@ use mdn_acoustics::ambient::AmbientProfile;
 use mdn_acoustics::medium::Pos;
 use mdn_acoustics::mic::Microphone;
 use mdn_acoustics::scene::Scene;
+use mdn_acoustics::Window;
 use mdn_audio::signal::spl_to_amplitude;
 use mdn_audio::synth::{render_mixture, Tone};
 use mdn_core::detector::{DetectorConfig, ToneDetector};
@@ -168,11 +169,7 @@ pub fn duration_sweep(trials: usize) -> DurationSweepResult {
                 )
                 .expect("in-band request");
             scene.add(Pos::ORIGIN, Duration::from_millis(100), sig, "dev");
-            let cap = scene.capture(
-                &Microphone::measurement(),
-                Pos::new(0.5, 0.0, 0.0),
-                Duration::from_millis(300),
-            );
+            let cap = scene.capture(&Microphone::measurement(), Pos::new(0.5, 0.0, 0.0), Window::from_start(Duration::from_millis(300)));
             if !det.detect(&cap).is_empty() {
                 pipeline_hits += 1;
             }
@@ -187,11 +184,7 @@ pub fn duration_sweep(trials: usize) -> DurationSweepResult {
                 tone.render(SAMPLE_RATE),
                 "dev",
             );
-            let cap = scene.capture(
-                &Microphone::measurement(),
-                Pos::new(0.5, 0.0, 0.0),
-                Duration::from_millis(300),
-            );
+            let cap = scene.capture(&Microphone::measurement(), Pos::new(0.5, 0.0, 0.0), Window::from_start(Duration::from_millis(300)));
             let mut det = ToneDetector::with_config(
                 vec![freq],
                 DetectorConfig {
@@ -201,11 +194,7 @@ pub fn duration_sweep(trials: usize) -> DurationSweepResult {
             );
             let mut noise_scene = Scene::new(SAMPLE_RATE, ambient.clone());
             noise_scene.set_ambient_seed(900 + t as u64);
-            let noise = noise_scene.capture(
-                &Microphone::measurement(),
-                Pos::new(0.5, 0.0, 0.0),
-                Duration::from_millis(300),
-            );
+            let noise = noise_scene.capture(&Microphone::measurement(), Pos::new(0.5, 0.0, 0.0), Window::from_start(Duration::from_millis(300)));
             det.calibrate(&noise);
             if !det.detect(&cap).is_empty() {
                 raw_hits += 1;
@@ -288,11 +277,7 @@ pub fn intensity_sweep(trials: usize) -> SweepResult {
                 tone.render(SAMPLE_RATE),
                 "dev",
             );
-            let cap = scene.capture(
-                &Microphone::measurement(),
-                Pos::new(0.3, 0.0, 0.0),
-                Duration::from_millis(400),
-            );
+            let cap = scene.capture(&Microphone::measurement(), Pos::new(0.3, 0.0, 0.0), Window::from_start(Duration::from_millis(400)));
             // Calibrated detector: floor learned from the ambient alone.
             let mut det = ToneDetector::with_config(
                 vec![freq],
@@ -303,11 +288,7 @@ pub fn intensity_sweep(trials: usize) -> SweepResult {
             );
             let mut noise_scene = Scene::new(SAMPLE_RATE, ambient.clone());
             noise_scene.set_ambient_seed(5000 + t as u64);
-            let noise_cap = noise_scene.capture(
-                &Microphone::measurement(),
-                Pos::new(0.3, 0.0, 0.0),
-                Duration::from_millis(400),
-            );
+            let noise_cap = noise_scene.capture(&Microphone::measurement(), Pos::new(0.3, 0.0, 0.0), Window::from_start(Duration::from_millis(400)));
             det.calibrate(&noise_cap);
             if !det.detect(&cap).is_empty() {
                 hits += 1;

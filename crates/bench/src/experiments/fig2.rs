@@ -22,6 +22,7 @@ use mdn_net::stats::{cdf, quantile};
 use serde::Serialize;
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
+use mdn_acoustics::Window;
 
 /// Result of the Figure 2a experiment.
 #[derive(Debug, Clone, Serialize)]
@@ -71,7 +72,7 @@ pub fn multiswitch_fft(num_switches: usize, slots_per_switch: usize) -> MultiSwi
         switches.push(name);
     }
 
-    let events = ctl.listen(&scene, Duration::ZERO, Duration::from_millis(400));
+    let events = ctl.listen(&scene, Window::from_start(Duration::from_millis(400)));
     let heard: BTreeSet<(String, usize)> =
         events.iter().map(|e| (e.device.clone(), e.slot)).collect();
     let detected: Vec<(String, usize)> = expected.intersection(&heard).cloned().collect();
@@ -79,11 +80,7 @@ pub fn multiswitch_fft(num_switches: usize, slots_per_switch: usize) -> MultiSwi
     let recall = detected.len() as f64 / expected.len().max(1) as f64;
 
     // The plotted spectrum: one 100 ms frame of the mixture.
-    let capture = ctl.capture(
-        &scene,
-        Duration::from_millis(150),
-        Duration::from_millis(100),
-    );
+    let capture = ctl.capture(&scene, Window::new(Duration::from_millis(150), Duration::from_millis(100)));
     let spec = mdn_audio::spectral::Spectrum::of(&capture);
     let lo = emitted_hz.iter().cloned().fold(f64::INFINITY, f64::min) - 100.0;
     let hi = emitted_hz.iter().cloned().fold(0.0, f64::max) + 100.0;

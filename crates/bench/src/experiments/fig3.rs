@@ -22,6 +22,7 @@ use mdn_net::traffic::TrafficPattern;
 use mdn_proto::channel::{pump_to_switch, ControlChannel};
 use serde::Serialize;
 use std::time::Duration;
+use mdn_acoustics::Window;
 
 /// Parameters for the port-knocking run.
 #[derive(Debug, Clone)]
@@ -159,7 +160,7 @@ pub fn port_knocking(params: &PortKnockParams) -> PortKnockResult {
         //    with overlap so boundary tones aren't clipped.
         if at >= TICK * 2 {
             let from = at - TICK * 2;
-            let events = ctl.listen(&scene, from, TICK + Duration::from_millis(150));
+            let events = ctl.listen(&scene, Window::new(from, TICK + Duration::from_millis(150)));
             // 3. Feed the FSM; deliver any FlowMod over the control
             //    channel, through the real wire format.
             if let Some(msg) = app.on_events(&events) {
@@ -202,7 +203,7 @@ pub fn port_knocking(params: &PortKnockParams) -> PortKnockResult {
     };
 
     // Figure 3b: the mel spectrogram of the knock soundtrack.
-    let capture = ctl.capture(&scene, Duration::ZERO, params.total);
+    let capture = ctl.capture(&scene, Window::from_start(params.total));
     let sg = mdn_audio::spectrogram::Spectrogram::compute(
         &capture,
         &mdn_audio::spectrogram::StftConfig::default_for(SAMPLE_RATE),

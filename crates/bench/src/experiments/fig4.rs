@@ -30,6 +30,7 @@ use mdn_net::topology;
 use mdn_net::traffic::TrafficPattern;
 use serde::Serialize;
 use std::time::Duration;
+use mdn_acoustics::Window;
 
 /// Telemetry slot count used by both experiments.
 const SLOTS: usize = 64;
@@ -125,7 +126,7 @@ pub fn heavy_hitter(with_noise: bool) -> HeavyHitterResult {
 
     let mut ctl = MdnController::new(Microphone::measurement(), Pos::new(0.5, 0.3, 0.0));
     ctl.bind_device("s1", set);
-    let events = ctl.listen(&scene, Duration::ZERO, total);
+    let events = ctl.listen(&scene, Window::from_start(total));
 
     let det = HeavyHitterDetector::new("s1", Duration::from_secs(1), 5);
     let totals = det.slot_totals(&events);
@@ -221,7 +222,7 @@ pub fn port_scan(with_noise: bool) -> PortScanResult {
 
     let mut ctl = MdnController::new(Microphone::measurement(), Pos::new(0.5, 0.3, 0.0));
     ctl.bind_device("s1", set.clone());
-    let events = ctl.listen(&scene, Duration::ZERO, total);
+    let events = ctl.listen(&scene, Window::from_start(total));
     // ~205 ms per slot (1024 ports × 200 µs): a 4 s window sees ~19 slots.
     let det = PortScanDetector::new("s1", Duration::from_secs(4), 12);
     let alerts: Vec<(f64, usize, f64)> = det
@@ -237,7 +238,7 @@ pub fn port_scan(with_noise: bool) -> PortScanResult {
         .collect();
 
     // The figure itself: the mel ridge of the captured audio.
-    let capture = ctl.capture(&scene, Duration::ZERO, total);
+    let capture = ctl.capture(&scene, Window::from_start(total));
     let sg = Spectrogram::compute(&capture, &StftConfig::default_for(SAMPLE_RATE));
     let lo = set.freqs.first().unwrap() - 100.0;
     let hi = set.freqs.last().unwrap() + 100.0;

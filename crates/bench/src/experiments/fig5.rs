@@ -27,6 +27,7 @@ use mdn_net::traffic::TrafficPattern;
 use mdn_proto::channel::{pump_to_switch, ControlChannel};
 use serde::Serialize;
 use std::time::Duration;
+use mdn_acoustics::Window;
 
 
 /// Spectrogram tracks of the three queue tones over a captured scene —
@@ -36,7 +37,7 @@ fn queue_tone_tracks(
     scene: &mdn_acoustics::scene::Scene,
     total: Duration,
 ) -> Vec<(f64, f64, f64, f64)> {
-    let capture = ctl.capture(scene, Duration::ZERO, total + Duration::from_millis(200));
+    let capture = ctl.capture(scene, Window::from_start(total + Duration::from_millis(200)));
     let sg = mdn_audio::spectrogram::Spectrogram::compute(
         &capture,
         &mdn_audio::spectrogram::StftConfig::default_for(SAMPLE_RATE),
@@ -177,7 +178,7 @@ pub fn load_balancing() -> LoadBalancingResult {
         // Controller listens one tick behind.
         if at >= SAMPLE_INTERVAL * 2 {
             let from = at - SAMPLE_INTERVAL * 2;
-            let events = ctl.listen(&scene, from, SAMPLE_INTERVAL + Duration::from_millis(150));
+            let events = ctl.listen(&scene, Window::new(from, SAMPLE_INTERVAL + Duration::from_millis(150)));
             if let Some(reb) = app.on_events(&events) {
                 chan.send_to_switch(&reb.flow_mod);
                 pump_to_switch(&mut chan, &mut net, topo.s_in);
@@ -320,7 +321,7 @@ pub fn queue_monitor() -> QueueMonitorResult {
 
     // Decode the whole soundtrack post-hoc (the monitor is passive).
     let monitor = QueueMonitor::new("s1", mapper);
-    let events = ctl.listen(&scene, Duration::ZERO, total + Duration::from_millis(200));
+    let events = ctl.listen(&scene, Window::from_start(total + Duration::from_millis(200)));
     let reports = monitor.reports(&events);
     let decoded_bands: Vec<(f64, u8)> = reports
         .iter()

@@ -281,6 +281,7 @@ impl FanFailureDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mdn_audio::signal::Window;
     use crate::fan::{FanModel, FanState};
     use mdn_acoustics::ambient::AmbientProfile;
     use mdn_acoustics::medium::Pos;
@@ -306,7 +307,7 @@ mod tests {
             "server",
         );
         // Close-range microphone, as the paper's answer requires.
-        scene.capture(&Microphone::measurement(), Pos::new(0.3, 0.0, 0.0), WINDOW)
+        scene.capture(&Microphone::measurement(), Pos::new(0.3, 0.0, 0.0), Window::from_start(WINDOW))
     }
 
     fn calibrated(ambient: &AmbientProfile) -> FanFailureDetector {

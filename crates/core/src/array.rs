@@ -11,6 +11,7 @@
 
 use crate::controller::{collapse_events, MdnController, MdnEvent};
 use mdn_acoustics::scene::Scene;
+use mdn_audio::signal::Window;
 use std::time::Duration;
 
 /// A coordinated set of listening points.
@@ -51,11 +52,11 @@ impl MicrophoneArray {
         &mut self.elements
     }
 
-    /// Listen through every element and fuse the event streams.
-    pub fn listen(&self, scene: &Scene, from: Duration, len: Duration) -> Vec<MdnEvent> {
+    /// Listen through every element over window `w` and fuse the streams.
+    pub fn listen(&self, scene: &Scene, w: Window) -> Vec<MdnEvent> {
         let mut all: Vec<MdnEvent> = Vec::new();
         for element in &self.elements {
-            all.extend(element.listen(scene, from, len));
+            all.extend(element.listen(scene, w));
         }
         let mut fused = collapse_events(&all, self.merge_window);
         fused.sort_by_key(|e| e.time);
@@ -116,7 +117,7 @@ mod tests {
         solo.set_config(cfg);
         solo.bind_device("sw-near", set_near.clone());
         solo.bind_device("sw-far", set_far.clone());
-        let solo_events = solo.listen(&scene, Duration::ZERO, Duration::from_millis(600));
+        let solo_events = solo.listen(&scene, Window::from_start(Duration::from_millis(600)));
         assert!(solo_events.iter().any(|e| e.device == "sw-near"));
         assert!(
             !solo_events.iter().any(|e| e.device == "sw-far"),
@@ -135,7 +136,7 @@ mod tests {
         array.add_element(far_ctl);
         assert_eq!(array.len(), 2);
 
-        let events = array.listen(&scene, Duration::ZERO, Duration::from_millis(600));
+        let events = array.listen(&scene, Window::from_start(Duration::from_millis(600)));
         assert!(
             events.iter().any(|e| e.device == "sw-near" && e.slot == 0),
             "{events:?}"
@@ -167,7 +168,7 @@ mod tests {
             ctl.bind_device("sw", set.clone());
             array.add_element(ctl);
         }
-        let events = array.listen(&scene, Duration::ZERO, Duration::from_millis(400));
+        let events = array.listen(&scene, Window::from_start(Duration::from_millis(400)));
         let tone_events: Vec<&MdnEvent> = events
             .iter()
             .filter(|e| e.device == "sw" && e.slot == 1)
@@ -181,7 +182,7 @@ mod tests {
         let array = MicrophoneArray::new();
         assert!(array.is_empty());
         assert!(array
-            .listen(&scene, Duration::ZERO, Duration::from_millis(100))
+            .listen(&scene, Window::from_start(Duration::from_millis(100)))
             .is_empty());
     }
 }

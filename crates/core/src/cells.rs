@@ -24,11 +24,14 @@
 //!
 //! The [`ShardedController`] owns one [`MdnController`] + microphone per
 //! cell, renders/detects cells in parallel with `std::thread::scope`
-//! (mirroring `Scene::render_at`: pre-sized per-cell output slots, so the
-//! merged stream is bit-identical for any thread count), and merges
-//! per-cell observations into one [`CellEvent`] stream.
+//! (mirroring `Scene::render_window`: pre-sized per-cell output slots, so
+//! the merged stream is bit-identical for any thread count), and merges
+//! per-cell observations into one [`ShardEvent`] stream. Captures go
+//! through the windowed render path, so each listening tick costs
+//! O(window) regardless of elapsed scene time.
 
 use crate::controller::{merge_event_streams, MdnController, MdnEvent};
+pub use crate::controller::{CellId, ShardEvent};
 use crate::detector::DetectorConfig;
 use crate::encoder::SoundingDevice;
 use crate::freqplan::{FrequencyPlan, FrequencySet};
@@ -37,7 +40,7 @@ use mdn_acoustics::medium::incident_amplitude;
 use mdn_acoustics::medium::Pos;
 use mdn_acoustics::mic::Microphone;
 use mdn_acoustics::scene::Scene;
-use mdn_audio::signal::spl_to_amplitude;
+use mdn_audio::signal::{spl_to_amplitude, Window};
 use mdn_obs::{Counter, Registry};
 use std::fmt;
 use std::time::Duration;
@@ -548,7 +551,7 @@ impl CellPlan {
                 .expect("worst-case emission");
             }
             let ctl = self.controller_for(cell.id);
-            let events = ctl.listen(&scene, Duration::ZERO, Duration::from_millis(400));
+            let events = ctl.listen(&scene, Window::from_start(Duration::from_millis(400)));
             if let Some(e) = events.first() {
                 return Err(CellPlanError::DetectorLeak {
                     cell: cell.id,
@@ -560,16 +563,6 @@ impl CellPlan {
         }
         Ok(())
     }
-}
-
-/// An [`MdnEvent`] tagged with the cell whose controller decoded it.
-#[derive(Debug, Clone, PartialEq)]
-pub struct CellEvent {
-    /// The decoding cell's id.
-    pub cell: usize,
-    /// The decoded event (device names are globally unique, so the pair
-    /// is unambiguous).
-    pub event: MdnEvent,
 }
 
 /// One controller + microphone per cell, listened in parallel, merged
@@ -639,21 +632,21 @@ impl ShardedController {
 
     /// Calibrate every cell's detector against an ambient-only window of
     /// the scene (one containing no MDN tones).
-    pub fn calibrate(&mut self, scene: &Scene, from: Duration, len: Duration) {
+    pub fn calibrate(&mut self, scene: &Scene, w: Window) {
         for ctl in &mut self.controllers {
-            let ambient = ctl.capture(scene, from, len);
+            let ambient = ctl.capture(scene, w);
             ctl.calibrate(&ambient);
         }
     }
 
-    /// Listen over `[from, from + len)` with every cell's controller and
-    /// merge the shards into one time-ordered, cell-attributed stream.
+    /// Listen over window `w` with every cell's controller and merge the
+    /// shards into one time-ordered, cell-attributed stream.
     ///
     /// Cells are captured/decoded in parallel (chunked over scoped
     /// threads, each writing a pre-assigned output slot) and merged
     /// sequentially by [`merge_event_streams`], so the result is
     /// bit-identical for any thread count.
-    pub fn listen(&self, scene: &Scene, from: Duration, len: Duration) -> Vec<CellEvent> {
+    pub fn listen(&self, scene: &Scene, w: Window) -> Vec<ShardEvent> {
         let n = self.controllers.len();
         let mut per_cell: Vec<Vec<MdnEvent>> = Vec::with_capacity(n);
         per_cell.resize_with(n, Vec::new);
@@ -667,7 +660,7 @@ impl ShardedController {
 
         if workers <= 1 {
             for (ctl, out) in self.controllers.iter().zip(per_cell.iter_mut()) {
-                *out = ctl.listen(scene, from, len);
+                *out = ctl.listen(scene, w);
             }
         } else {
             let chunk = n.div_ceil(workers);
@@ -679,7 +672,7 @@ impl ShardedController {
                 {
                     s.spawn(move || {
                         for (ctl, out) in ctls.iter().zip(outs.iter_mut()) {
-                            *out = ctl.listen(scene, from, len);
+                            *out = ctl.listen(scene, w);
                         }
                     });
                 }
@@ -693,9 +686,6 @@ impl ShardedController {
         }
 
         merge_event_streams(per_cell)
-            .into_iter()
-            .map(|(cell, event)| CellEvent { cell, event })
-            .collect()
     }
 }
 

@@ -13,6 +13,7 @@ use crate::health::{ControlPath, HealthState, HealthTracker};
 use mdn_acoustics::medium::Pos;
 use mdn_acoustics::mic::Microphone;
 use mdn_acoustics::scene::Scene;
+use mdn_audio::signal::Window;
 use mdn_audio::Signal;
 use mdn_obs::{Counter, Registry};
 use std::time::Duration;
@@ -160,11 +161,12 @@ impl MdnController {
         };
     }
 
-    /// Capture `[from, from + len)` of the scene through the controller's
-    /// microphone.
-    pub fn capture(&self, scene: &Scene, from: Duration, len: Duration) -> Signal {
-        let full = scene.render_at(self.pos, from + len);
-        self.mic.capture(&full.window(from, len))
+    /// Capture window `w` of the scene through the controller's
+    /// microphone — [`Scene::capture`] at the controller's position, so a
+    /// tick render costs O(window) no matter how much scene time has
+    /// elapsed.
+    pub fn capture(&self, scene: &Scene, w: Window) -> Signal {
+        scene.capture(&self.mic, self.pos, w)
     }
 
     /// Calibrate the detector's per-slot noise floor against the scene's
@@ -195,10 +197,10 @@ impl MdnController {
         events
     }
 
-    /// Capture a window and decode it in one step; event times are offset
-    /// by `from` so they are scene-absolute.
+    /// Capture window `w` and decode it in one step; event times are
+    /// offset by `w.from` so they are scene-absolute.
     ///
-    /// The capture includes a 150 ms *pre-roll* before `from` (clamped at
+    /// The capture includes a 150 ms *pre-roll* before the window (clamped at
     /// scene start) that is decoded for context but filtered from the
     /// returned events: a tone that *ends* right at `from` then has its
     /// loud body inside the same capture, so the detector's
@@ -206,10 +208,10 @@ impl MdnController {
     /// reporting a ghost event. Without the pre-roll, windowed listeners
     /// (the 300 ms tick loops of §6) see phantom tones at window
     /// boundaries.
-    pub fn listen(&self, scene: &Scene, from: Duration, len: Duration) -> Vec<MdnEvent> {
-        let pre_roll = Duration::from_millis(150).min(from);
-        let start = from - pre_roll;
-        let capture = self.capture(scene, start, len + pre_roll);
+    pub fn listen(&self, scene: &Scene, w: Window) -> Vec<MdnEvent> {
+        let pre_roll = Duration::from_millis(150).min(w.from);
+        let start = w.from - pre_roll;
+        let capture = self.capture(scene, Window::new(start, w.len + pre_roll));
         self.decode(&capture)
             .into_iter()
             .filter(|e| e.time >= pre_roll)
@@ -266,20 +268,37 @@ pub fn collapse_events(events: &[MdnEvent], refractory: Duration) -> Vec<MdnEven
     out
 }
 
+/// Index of an acoustic cell (decode shard) in a sharded deployment.
+pub type CellId = usize;
+
+/// An [`MdnEvent`] attributed to the acoustic cell that decoded it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardEvent {
+    /// The cell whose controller decoded the event.
+    pub shard: CellId,
+    /// The decoded event (times are scene-absolute).
+    pub event: MdnEvent,
+}
+
 /// Merge per-shard event streams (one per acoustic cell) into a single
 /// stream tagged with the shard index. Ordering is by event time, then
 /// shard index, then each shard's own decode order — a function of the
 /// input streams alone, so the merged stream is bit-identical no matter
 /// how many threads produced the shards or in what order they finished.
-pub fn merge_event_streams(streams: Vec<Vec<MdnEvent>>) -> Vec<(usize, MdnEvent)> {
-    let mut merged: Vec<(usize, MdnEvent)> = streams
+pub fn merge_event_streams(streams: Vec<Vec<MdnEvent>>) -> Vec<ShardEvent> {
+    let mut merged: Vec<ShardEvent> = streams
         .into_iter()
         .enumerate()
-        .flat_map(|(shard, events)| events.into_iter().map(move |e| (shard, e)))
+        .flat_map(|(shard, events)| events.into_iter().map(move |event| ShardEvent { shard, event }))
         .collect();
     // Stable sort: equal (time, shard) pairs keep their within-shard
     // decode order.
-    merged.sort_by(|a, b| a.1.time.cmp(&b.1.time).then(a.0.cmp(&b.0)));
+    merged.sort_by(|a, b| {
+        a.event
+            .time
+            .cmp(&b.event.time)
+            .then(a.shard.cmp(&b.shard))
+    });
     merged
 }
 
@@ -306,10 +325,25 @@ mod tests {
     }
 
     #[test]
+    fn controller_capture_pins_to_scene_capture() {
+        // There is exactly one capture implementation: the controller
+        // delegates to `Scene::capture` at its own mic/position. Pin the
+        // equivalence so the two paths can never drift apart again.
+        let (_, ctl, mut d1, _) = setup();
+        let mut scene = Scene::new(SR, AmbientProfile::office());
+        scene.set_ambient_seed(3);
+        d1.emit(&mut scene, 2, Duration::from_millis(40)).unwrap();
+        let w = Window::new(Duration::from_millis(20), Duration::from_millis(150));
+        let via_ctl = ctl.capture(&scene, w);
+        let via_scene = scene.capture(&ctl.mic, ctl.pos, w);
+        assert_eq!(via_ctl.samples(), via_scene.samples());
+    }
+
+    #[test]
     fn decodes_one_device_slot() {
         let (mut scene, ctl, mut d1, _) = setup();
         d1.emit(&mut scene, 3, Duration::from_millis(100)).unwrap();
-        let events = ctl.listen(&scene, Duration::ZERO, Duration::from_millis(300));
+        let events = ctl.listen(&scene, Window::from_start(Duration::from_millis(300)));
         assert!(!events.is_empty());
         assert!(
             events.iter().all(|e| e.device == "sw1" && e.slot == 3),
@@ -324,7 +358,7 @@ mod tests {
         let (mut scene, ctl, mut d1, mut d2) = setup();
         d1.emit(&mut scene, 0, Duration::from_millis(50)).unwrap();
         d2.emit(&mut scene, 2, Duration::from_millis(50)).unwrap();
-        let events = ctl.listen(&scene, Duration::ZERO, Duration::from_millis(200));
+        let events = ctl.listen(&scene, Window::from_start(Duration::from_millis(200)));
         let sw1: Vec<_> = events.iter().filter(|e| e.device == "sw1").collect();
         let sw2: Vec<_> = events.iter().filter(|e| e.device == "sw2").collect();
         assert!(!sw1.is_empty() && sw1.iter().all(|e| e.slot == 0));
@@ -337,8 +371,7 @@ mod tests {
         d1.emit(&mut scene, 1, Duration::from_millis(600)).unwrap();
         let events = ctl.listen(
             &scene,
-            Duration::from_millis(500),
-            Duration::from_millis(300),
+            Window::new(Duration::from_millis(500), Duration::from_millis(300)),
         );
         assert!(!events.is_empty());
         let t = events[0].time;
@@ -353,7 +386,7 @@ mod tests {
         let scene = Scene::quiet(SR);
         let ctl = MdnController::new(Microphone::measurement(), Pos::ORIGIN);
         assert!(ctl
-            .listen(&scene, Duration::ZERO, Duration::from_millis(100))
+            .listen(&scene, Window::from_start(Duration::from_millis(100)))
             .is_empty());
     }
 
@@ -365,7 +398,7 @@ mod tests {
         let mut ctl = MdnController::new(Microphone::measurement(), Pos::new(0.5, 0.0, 0.0));
         ctl.bind_device("sw1", set.clone());
         // Calibrate on the ambient-only scene.
-        let ambient = ctl.capture(&scene, Duration::ZERO, Duration::from_millis(500));
+        let ambient = ctl.capture(&scene, Window::from_start(Duration::from_millis(500)));
         ctl.calibrate(&ambient);
         // Then emit a loud tone and listen.
         let mut dev = SoundingDevice::new("sw1", set, Pos::ORIGIN);
@@ -379,8 +412,7 @@ mod tests {
         .unwrap();
         let events = ctl.listen(
             &scene,
-            Duration::from_millis(500),
-            Duration::from_millis(400),
+            Window::new(Duration::from_millis(500), Duration::from_millis(400)),
         );
         assert!(!events.is_empty(), "tone lost in datacenter noise");
         assert!(events.iter().all(|e| e.slot == 1));
@@ -455,7 +487,7 @@ mod tests {
         // instrumented.
         ctl.set_threads(1);
         d1.emit(&mut scene, 2, Duration::from_millis(100)).unwrap();
-        let events = ctl.listen(&scene, Duration::ZERO, Duration::from_millis(300));
+        let events = ctl.listen(&scene, Window::from_start(Duration::from_millis(300)));
         assert!(!events.is_empty());
         let snap = registry.snapshot();
         assert!(
@@ -480,7 +512,7 @@ mod tests {
     #[test]
     fn quiet_scene_produces_no_false_events() {
         let (scene, ctl, _, _) = setup();
-        let events = ctl.listen(&scene, Duration::ZERO, Duration::from_millis(500));
+        let events = ctl.listen(&scene, Window::from_start(Duration::from_millis(500)));
         assert!(events.is_empty(), "false events: {events:?}");
     }
 
@@ -498,7 +530,7 @@ mod tests {
         let merged = merge_event_streams(vec![shard0.clone(), shard1.clone()]);
         let order: Vec<(usize, &str)> = merged
             .iter()
-            .map(|(s, e)| (*s, e.device.as_str()))
+            .map(|e| (e.shard, e.event.device.as_str()))
             .collect();
         // t=10 ties break by shard; t=20 then t=30 interleave across
         // shards by time.

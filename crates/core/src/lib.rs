@@ -34,7 +34,7 @@
 //! use mdn_core::freqplan::FrequencyPlan;
 //! use mdn_core::encoder::SoundingDevice;
 //! use mdn_core::controller::MdnController;
-//! use mdn_acoustics::{scene::Scene, mic::Microphone, medium::Pos};
+//! use mdn_acoustics::{scene::Scene, mic::Microphone, medium::Pos, Window};
 //! use std::time::Duration;
 //!
 //! // Allocate a switch five tones, sound one, and decode it.
@@ -46,7 +46,7 @@
 //!
 //! let mut ctl = MdnController::new(Microphone::measurement(), Pos::new(0.5, 0.0, 0.0));
 //! ctl.bind_device("switch-1", set);
-//! let events = ctl.listen(&scene, Duration::ZERO, Duration::from_millis(300));
+//! let events = ctl.listen(&scene, Window::from_start(Duration::from_millis(300)));
 //! assert!(events.iter().all(|e| e.device == "switch-1" && e.slot == 3));
 //! ```
 
@@ -65,8 +65,8 @@ pub mod live;
 pub mod relay;
 pub mod sequence;
 
-pub use cells::{CellConfig, CellEvent, CellPlan, ShardedController};
-pub use controller::{MdnController, MdnEvent};
+pub use cells::{CellConfig, CellPlan, ShardedController};
+pub use controller::{CellId, MdnController, MdnEvent, ShardEvent};
 pub use detector::{DetectorConfig, ToneDetector};
 pub use encoder::SoundingDevice;
 pub use freqplan::{FrequencyPlan, FrequencySet};

@@ -7,11 +7,18 @@
 //! arbitrary-sized chunks over a `crossbeam` channel, a carry-over buffer
 //! preserves detector frames across chunk boundaries, and decoded events
 //! accumulate behind a `parking_lot` mutex for the control thread to drain.
+//!
+//! In simulation the stream comes from a
+//! [`SceneCursor`](mdn_acoustics::scene::SceneCursor): [`LiveListener::pump`]
+//! renders the next window of the scene into the cursor's reusable scratch
+//! buffer and feeds it to the worker, so an endless closed loop costs
+//! O(chunk) per tick instead of re-rendering the scene from zero.
 
 use crate::controller::MdnEvent;
 use crate::detector::ToneDetector;
 use crate::freqplan::FrequencySet;
 use crossbeam::channel::{bounded, Sender};
+use mdn_acoustics::scene::SceneCursor;
 use mdn_audio::signal::duration_to_samples;
 use mdn_audio::Signal;
 use parking_lot::Mutex;
@@ -196,6 +203,20 @@ impl LiveListener {
         }
     }
 
+    /// Render the next `len` of the cursor's scene and feed it to the
+    /// worker — the glue between the windowed scene renderer and the
+    /// streaming detector. The cursor reuses its scratch buffer, so each
+    /// tick renders only `len` of audio no matter how much stream time has
+    /// already elapsed (only the channel send copies the chunk out).
+    ///
+    /// # Panics
+    /// Panics if the cursor's scene sample rate differs from the
+    /// listener's, or after [`Self::finish`].
+    pub fn pump(&mut self, cursor: &mut SceneCursor<'_>, len: Duration) {
+        let chunk = cursor.advance(len).clone();
+        self.push(chunk);
+    }
+
     /// Take the events decoded so far (deduplication across overlapping
     /// frames is the consumer's job, exactly as for batch listening — use
     /// [`crate::controller::collapse_events`]).
@@ -346,6 +367,26 @@ mod tests {
             .map(|e| e.slot)
             .collect();
         assert_eq!(decoded, vec![1, 3, 0]);
+    }
+
+    #[test]
+    fn cursor_pump_matches_chunked_stream() {
+        // The closed-loop path (SceneCursor::advance → pump) must decode
+        // exactly what pushing pre-rendered slices of the full render does.
+        let (scene, set, _) = scene_with_tones();
+        let mut listener = LiveListener::start("dev", set, SR, 4);
+        let mut cursor = scene.cursor(Pos::new(0.4, 0.0, 0.0));
+        let total = Duration::from_millis(1400);
+        while cursor.position() < total {
+            listener.pump(&mut cursor, Duration::from_millis(200));
+        }
+        assert_eq!(listener.pushed(), total);
+        let events = listener.finish().expect("worker healthy");
+        let decoded: Vec<usize> = collapse_events(&events, Duration::from_millis(80))
+            .iter()
+            .map(|e| e.slot)
+            .collect();
+        assert_eq!(decoded, vec![1, 3, 0], "events: {events:?}");
     }
 
     #[test]

@@ -24,6 +24,7 @@ use crate::freqplan::FrequencySet;
 use mdn_acoustics::medium::Pos;
 use mdn_acoustics::mic::Microphone;
 use mdn_acoustics::scene::Scene;
+use mdn_audio::signal::Window;
 use std::collections::BTreeSet;
 use std::time::Duration;
 
@@ -84,29 +85,24 @@ impl ToneRelay {
     /// Calibrate the relay's per-slot noise floor from a tone-free capture
     /// at its own position (required in noisy rooms, exactly as for the
     /// controller).
-    pub fn calibrate(&mut self, scene: &Scene, from: Duration, len: Duration) {
-        let full = scene.render_at(self.pos, from + len);
-        let capture = self.mic.capture(&full.window(from, len));
+    pub fn calibrate(&mut self, scene: &Scene, w: Window) {
+        let capture = scene.capture(&self.mic, self.pos, w);
         self.detector.calibrate(&capture);
     }
 
-    /// Listen to `[from, from+len)` of the scene and re-emit every distinct
+    /// Listen to window `w` of the scene and re-emit every distinct
     /// upstream slot heard, `process_delay` after the end of the window.
     /// Returns the slots relayed.
     ///
     /// Like [`crate::controller::MdnController::listen`], the capture
     /// includes a 150 ms pre-roll (decoded for context, filtered from the
-    /// result) so a tone ending right at `from` doesn't ghost.
-    pub fn relay_window(
-        &mut self,
-        scene: &mut Scene,
-        from: Duration,
-        len: Duration,
-    ) -> BTreeSet<usize> {
-        let pre_roll = Duration::from_millis(150).min(from);
-        let start = from - pre_roll;
-        let full = scene.render_at(self.pos, from + len);
-        let capture = self.mic.capture(&full.window(start, len + pre_roll));
+    /// result) so a tone ending right at `w.from` doesn't ghost. The
+    /// capture renders only the window (plus pre-roll), so relaying stays
+    /// O(window) no matter how much scene time has already elapsed.
+    pub fn relay_window(&mut self, scene: &mut Scene, w: Window) -> BTreeSet<usize> {
+        let pre_roll = Duration::from_millis(150).min(w.from);
+        let start = w.from - pre_roll;
+        let capture = scene.capture(&self.mic, self.pos, Window::new(start, w.len + pre_roll));
         let heard: BTreeSet<usize> = self
             .detector
             .detect(&capture)
@@ -114,7 +110,7 @@ impl ToneRelay {
             .filter(|o| o.time >= pre_roll)
             .map(|o| o.candidate)
             .collect();
-        let emit_at = from + len + self.process_delay;
+        let emit_at = w.end() + self.process_delay;
         for (k, &slot) in heard.iter().enumerate() {
             // Stagger re-emissions so simultaneous symbols stay separable
             // in time as well as frequency.
@@ -151,7 +147,7 @@ mod tests {
 
         // Relay 2 m away hears it and re-speaks downstream.
         let mut relay = ToneRelay::new("relay", up, down.clone(), Pos::new(2.0, 0.0, 0.0));
-        let heard = relay.relay_window(&mut scene, Duration::ZERO, Duration::from_millis(200));
+        let heard = relay.relay_window(&mut scene, Window::from_start(Duration::from_millis(200)));
         assert_eq!(heard, BTreeSet::from([2]));
         assert_eq!(relay.relayed, 1);
 
@@ -160,8 +156,7 @@ mod tests {
         ctl.bind_device("relay", down);
         let events = ctl.listen(
             &scene,
-            Duration::from_millis(200),
-            Duration::from_millis(300),
+            Window::new(Duration::from_millis(200), Duration::from_millis(300)),
         );
         assert!(!events.is_empty(), "relayed tone not heard");
         assert!(events.iter().all(|e| e.slot == 2));
@@ -174,7 +169,7 @@ mod tests {
         let down = plan.allocate("down", 4).unwrap();
         let mut scene = Scene::quiet(SR);
         let mut relay = ToneRelay::new("relay", up, down, Pos::ORIGIN);
-        let heard = relay.relay_window(&mut scene, Duration::ZERO, Duration::from_millis(200));
+        let heard = relay.relay_window(&mut scene, Window::from_start(Duration::from_millis(200)));
         assert!(heard.is_empty());
         assert_eq!(scene.num_emissions(), 0);
     }
@@ -193,7 +188,7 @@ mod tests {
             .emit(&mut scene, 3, Duration::from_millis(50))
             .unwrap();
         let mut relay = ToneRelay::new("relay", up, down, Pos::new(1.5, 0.0, 0.0));
-        let heard = relay.relay_window(&mut scene, Duration::ZERO, Duration::from_millis(200));
+        let heard = relay.relay_window(&mut scene, Window::from_start(Duration::from_millis(200)));
         assert_eq!(heard, BTreeSet::from([0, 3]));
     }
 

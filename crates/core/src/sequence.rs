@@ -184,6 +184,7 @@ impl MelodyCodec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mdn_audio::signal::Window;
     use crate::controller::MdnController;
     use crate::freqplan::FrequencyPlan;
     use mdn_acoustics::medium::Pos;
@@ -210,7 +211,7 @@ mod tests {
         let end = codec
             .emit(&mut dev, &mut scene, &symbols, Duration::from_millis(100))
             .unwrap();
-        let events = ctl.listen(&scene, Duration::ZERO, end + Duration::from_millis(100));
+        let events = ctl.listen(&scene, Window::from_start(end + Duration::from_millis(100)));
         assert_eq!(codec.decode(&events, "dev"), symbols);
     }
 
@@ -221,7 +222,7 @@ mod tests {
         let end = codec
             .emit(&mut dev, &mut scene, &symbols, Duration::from_millis(50))
             .unwrap();
-        let events = ctl.listen(&scene, Duration::ZERO, end + Duration::from_millis(100));
+        let events = ctl.listen(&scene, Window::from_start(end + Duration::from_millis(100)));
         assert_eq!(codec.decode(&events, "dev"), symbols);
     }
 
@@ -273,7 +274,7 @@ mod tests {
         let end = codec
             .emit(&mut dev, &mut scene, &symbols, Duration::from_millis(50))
             .unwrap();
-        let events = ctl.listen(&scene, Duration::ZERO, end + Duration::from_millis(100));
+        let events = ctl.listen(&scene, Window::from_start(end + Duration::from_millis(100)));
         let decoded = codec.decode(&events, "dev");
         let bytes = codec.symbols_to_bytes(&decoded).unwrap();
         assert_eq!(&bytes[..payload.len()], payload);

@@ -24,6 +24,7 @@ use mdn_core::fan::{FanModel, FanState};
 use mdn_core::freqplan::FrequencyPlan;
 use std::path::PathBuf;
 use std::time::Duration;
+use mdn_acoustics::Window;
 
 const SR: u32 = 44_100;
 
@@ -34,11 +35,7 @@ fn out_dir() -> PathBuf {
 }
 
 fn capture(scene: &Scene, secs: f64) -> mdn_audio::Signal {
-    scene.capture(
-        &Microphone::measurement(),
-        Pos::new(0.5, 0.3, 0.0),
-        Duration::from_secs_f64(secs),
-    )
+    scene.capture(&Microphone::measurement(), Pos::new(0.5, 0.3, 0.0), Window::from_start(Duration::from_secs_f64(secs)))
 }
 
 fn main() {
@@ -122,11 +119,7 @@ fn main() {
                 );
                 t += secs;
             }
-            let sig = scene.capture(
-                &Microphone::measurement(),
-                Pos::new(0.3, 0.0, 0.0),
-                Duration::from_secs_f64(t),
-            );
+            let sig = scene.capture(&Microphone::measurement(), Pos::new(0.3, 0.0, 0.0), Window::from_start(Duration::from_secs_f64(t)));
             write_wav(&sig, dir.join(name)).unwrap();
         }
     }

@@ -23,6 +23,7 @@ use mdn_net::topology;
 use mdn_net::traffic::TrafficPattern;
 use mdn_proto::channel::{pump_to_switch, ControlChannel};
 use std::time::Duration;
+use mdn_acoustics::Window;
 
 const SAMPLE_RATE: u32 = 44_100;
 
@@ -118,11 +119,7 @@ fn main() {
             )
             .unwrap();
         if at >= SAMPLE_INTERVAL * 2 {
-            let events = controller.listen(
-                &scene,
-                at - SAMPLE_INTERVAL * 2,
-                SAMPLE_INTERVAL + Duration::from_millis(150),
-            );
+            let events = controller.listen(&scene, Window::new(at - SAMPLE_INTERVAL * 2, SAMPLE_INTERVAL + Duration::from_millis(150)));
             if let Some(reb) = app.on_events(&events) {
                 println!(
                     "--> heard 700 Hz at t={:.2}s: installing split FlowMod",

@@ -14,7 +14,7 @@
 //! The JSON snapshot is printed after a `=== JSON snapshot ===` marker so
 //! scripts (and the CI obs-smoke job) can slice it off and parse it.
 
-use mdn_acoustics::faults::{SceneFaultPlan, TimeWindow};
+use mdn_acoustics::faults::{SceneFaultPlan, Window};
 use mdn_acoustics::{medium::Pos, mic::Microphone, scene::Scene};
 use mdn_core::controller::MdnController;
 use mdn_core::encoder::SoundingDevice;
@@ -132,8 +132,8 @@ fn listen_and_decode(registry: &Registry, alarm: MpTone) {
     scene.attach_obs(registry);
     scene.set_faults(
         SceneFaultPlan::new(7)
-            .mic_dead(TimeWindow::new(MS(100), MS(250)))
-            .noise_burst(TimeWindow::new(MS(300), MS(500)), 35.0),
+            .mic_dead(Window::between(MS(100), MS(250)))
+            .noise_burst(Window::between(MS(300), MS(500)), 35.0),
     );
     let mut ctl = MdnController::new(Microphone::measurement(), Pos::new(0.5, 0.3, 0.0));
     ctl.attach_obs(registry);
@@ -142,7 +142,7 @@ fn listen_and_decode(registry: &Registry, alarm: MpTone) {
     let mut device = SoundingDevice::new("s1", set, Pos::ORIGIN);
     device.emit_slot(&mut scene, 0, MS(600), alarm.duration()).unwrap();
 
-    let events = ctl.listen(&scene, Duration::ZERO, MS(1000));
+    let events = ctl.listen(&scene, Window::from_start(MS(1000)));
     println!("decoded {} events from the alarm tone", events.len());
 
     // The same evidence the chaos scenario feeds: retransmissions degrade

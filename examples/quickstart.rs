@@ -14,6 +14,7 @@ use mdn_core::controller::MdnController;
 use mdn_core::encoder::SoundingDevice;
 use mdn_core::freqplan::FrequencyPlan;
 use std::time::Duration;
+use mdn_acoustics::Window;
 
 fn main() {
     const SAMPLE_RATE: u32 = 44_100;
@@ -54,7 +55,7 @@ fn main() {
     );
 
     // 4. The controller listens and decodes.
-    let events = controller.listen(&scene, Duration::ZERO, Duration::from_millis(300));
+    let events = controller.listen(&scene, Window::from_start(Duration::from_millis(300)));
     assert!(!events.is_empty(), "tone should be heard in a quiet room");
     let e = &events[0];
     println!(

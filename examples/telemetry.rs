@@ -19,6 +19,7 @@ use mdn_net::packet::{FlowKey, Ip};
 use mdn_net::topology;
 use mdn_net::traffic::TrafficPattern;
 use std::time::Duration;
+use mdn_acoustics::Window;
 
 const SAMPLE_RATE: u32 = 44_100;
 const SLOTS: usize = 64;
@@ -94,7 +95,7 @@ fn heavy_hitter_demo() {
 
     let mut controller = MdnController::new(Microphone::measurement(), Pos::new(0.5, 0.3, 0.0));
     controller.bind_device("s1", set);
-    let events = controller.listen(&scene, Duration::ZERO, total);
+    let events = controller.listen(&scene, Window::from_start(total));
     let det = HeavyHitterDetector::new("s1", Duration::from_secs(1), 5);
     let flagged = det.persistent_hitters(&events, 0.5);
 
@@ -153,7 +154,7 @@ fn port_scan_demo() {
 
     let mut controller = MdnController::new(Microphone::measurement(), Pos::new(0.5, 0.3, 0.0));
     controller.bind_device("s1", set);
-    let events = controller.listen(&scene, Duration::ZERO, total);
+    let events = controller.listen(&scene, Window::from_start(total));
     let det = PortScanDetector::new("s1", Duration::from_secs(4), 12);
     let alerts = det.analyze(&events);
     for a in &alerts {

@@ -44,16 +44,17 @@ pub use mdn_proto as proto;
 /// dev.emit(&mut scene, 1, Duration::from_millis(50)).unwrap();
 /// let mut ctl = MdnController::new(Microphone::measurement(), Pos::new(0.5, 0.0, 0.0));
 /// ctl.bind_device("switch-1", set);
-/// assert!(!ctl.listen(&scene, Duration::ZERO, Duration::from_millis(200)).is_empty());
+/// assert!(!ctl.listen(&scene, Window::from_start(Duration::from_millis(200))).is_empty());
 /// ```
 pub mod prelude {
     pub use mdn_acoustics::{
-        ambient::AmbientProfile, medium::Pos, mic::Microphone, scene::Scene, speaker::Speaker,
+        ambient::AmbientProfile, medium::Pos, mic::Microphone, scene::Scene,
+        speaker::Speaker, Window,
     };
     pub use mdn_audio::Signal;
     pub use mdn_core::{
-        cells::{CellConfig, CellEvent, CellPlan, ShardedController},
-        controller::{collapse_events, merge_event_streams, MdnController, MdnEvent},
+        cells::{CellConfig, CellPlan, ShardedController},
+        controller::{collapse_events, merge_event_streams, CellId, MdnController, MdnEvent, ShardEvent},
         detector::{DetectorConfig, ToneDetector},
         encoder::SoundingDevice,
         freqplan::{FrequencyPlan, FrequencySet},

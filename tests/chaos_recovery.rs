@@ -13,7 +13,7 @@
 //! the recovery timeline are bit-for-bit reproducible — asserted both as
 //! exact values (provable from the seed) and by running the scenario twice.
 
-use mdn_acoustics::faults::{SceneFaultPlan, TimeWindow};
+use mdn_acoustics::faults::{SceneFaultPlan, Window};
 use mdn_acoustics::speaker::{Speaker, ToneRequest};
 use mdn_acoustics::{medium::Pos, mic::Microphone, scene::Scene};
 use mdn_core::controller::MdnController;
@@ -113,8 +113,8 @@ fn run_scenario(seed: u64, backoff: BackoffConfig) -> ScenarioOutcome {
     let mut scene = Scene::quiet(SR);
     scene.set_faults(
         SceneFaultPlan::new(seed)
-            .mic_dead(TimeWindow::new(MS(1000), MS(1600)))
-            .noise_burst(TimeWindow::new(MS(2000), MS(2400)), 35.0),
+            .mic_dead(Window::between(MS(1000), MS(1600)))
+            .noise_burst(Window::between(MS(2000), MS(2400)), 35.0),
     );
     scene.attach_obs(&registry);
     let pi_speaker = Speaker::cheap();
@@ -196,7 +196,7 @@ fn run_scenario(seed: u64, backoff: BackoffConfig) -> ScenarioOutcome {
         // The controller listens one tick behind; the alarm triggers a
         // reroute over the bottom path.
         if at >= TICK * 2 && rerouted_at.is_none() {
-            let events = ctl.listen(&scene, at - TICK * 2, TICK + MS(150));
+            let events = ctl.listen(&scene, Window::new(at - TICK * 2, TICK + MS(150)));
             if events.iter().any(|e| e.device == "s_in" && e.slot == 0) {
                 ctl_chan.send_to_switch(&OfMessage::FlowMod {
                     xid: 1,

@@ -16,6 +16,7 @@ use mdn_net::traffic::TrafficPattern;
 use mdn_proto::channel::{pump_to_switch, ControlChannel};
 use mdn_proto::openflow::{FlowModCommand, OfMessage};
 use std::time::Duration;
+use mdn_acoustics::Window;
 
 const SR: u32 = 44_100;
 
@@ -49,7 +50,7 @@ fn tone_triggers_flowmod_that_opens_forwarding() {
         .unwrap();
 
     // Controller hears it and reacts with a FlowMod over the wire.
-    let events = ctl.listen(&scene, Duration::ZERO, Duration::from_millis(400));
+    let events = ctl.listen(&scene, Window::from_start(Duration::from_millis(400)));
     assert!(
         events.iter().any(|e| e.device == "s1" && e.slot == 1),
         "{events:?}"
@@ -90,7 +91,7 @@ fn no_tone_no_change() {
     let scene = Scene::quiet(SR);
     let mut ctl = MdnController::new(Microphone::measurement(), Pos::new(0.4, 0.0, 0.0));
     ctl.bind_device("s1", set);
-    let events = ctl.listen(&scene, Duration::ZERO, Duration::from_millis(500));
+    let events = ctl.listen(&scene, Window::from_start(Duration::from_millis(500)));
     assert!(events.is_empty(), "phantom events: {events:?}");
     net.drain();
     assert_eq!(net.host(topo.h2).rx_packets, 0);

@@ -16,6 +16,7 @@ use mdn_net::traffic::TrafficPattern;
 use mdn_proto::channel::{pump_to_switch, ship_packet_ins, ControlChannel};
 use mdn_proto::openflow::{FlowModCommand, OfMessage};
 use std::time::Duration;
+use mdn_acoustics::Window;
 
 /// §8: "including frequencies outside the spectrum of human hearing would
 /// allow for an increase in the number of discernible sounds". An
@@ -54,7 +55,7 @@ fn ultrasound_symbols_decode_end_to_end() {
 
     let mut ctl = MdnController::new(Microphone::ultrasound(), Pos::new(0.4, 0.0, 0.0));
     ctl.bind_device("ultra-switch", set);
-    let events = ctl.listen(&scene, Duration::ZERO, Duration::from_millis(400));
+    let events = ctl.listen(&scene, Window::from_start(Duration::from_millis(400)));
     assert!(!events.is_empty(), "ultrasound symbol lost");
     assert!(events.iter().all(|e| e.slot == 2), "{events:?}");
 }
@@ -155,7 +156,7 @@ fn twenty_byte_message_over_sound() {
 
     let mut ctl = MdnController::new(Microphone::measurement(), Pos::new(0.4, 0.0, 0.0));
     ctl.bind_device("oob", set);
-    let events = ctl.listen(&scene, Duration::ZERO, end + Duration::from_millis(200));
+    let events = ctl.listen(&scene, Window::from_start(end + Duration::from_millis(200)));
     let decoded = codec
         .symbols_to_bytes(&codec.decode(&events, "oob"))
         .unwrap();

@@ -22,6 +22,7 @@ use mdn_net::traffic::TrafficPattern;
 use mdn_proto::channel::{pump_to_switch, ControlChannel};
 use mdn_proto::openflow::{FlowModCommand, OfMessage};
 use std::time::Duration;
+use mdn_acoustics::Window;
 
 const SR: u32 = 44_100;
 const TICK: Duration = Duration::from_millis(300);
@@ -92,7 +93,7 @@ fn link_failure_alarm_tone_triggers_reroute() {
         // via the bottom path.
         if at >= TICK * 2 && rerouted_at.is_none() {
             let events =
-                ctl.listen(&scene, at - TICK * 2, TICK + Duration::from_millis(150));
+                ctl.listen(&scene, Window::new(at - TICK * 2, TICK + Duration::from_millis(150)));
             if events.iter().any(|e| e.device == "s_in" && e.slot == 0) {
                 chan.send_to_switch(&OfMessage::FlowMod {
                     xid: 1,

@@ -8,6 +8,7 @@ use mdn_audio::Signal;
 use mdn_core::apps::fanfail::{FanDetectError, FanFailureDetector};
 use mdn_core::fan::{FanModel, FanState};
 use std::time::Duration;
+use mdn_acoustics::Window;
 
 const SR: u32 = 44_100;
 const WINDOW: Duration = Duration::from_secs(2);
@@ -31,7 +32,7 @@ fn capture_at(
         fan.render(WINDOW, SR, seed ^ 0xFA4),
         "srv",
     );
-    scene.capture(mic, Pos::new(dist_m, 0.0, 0.0), WINDOW)
+    scene.capture(mic, Pos::new(dist_m, 0.0, 0.0), Window::from_start(WINDOW))
 }
 
 fn calibrated(ambient: &AmbientProfile, mic: &Microphone, dist_m: f64) -> FanFailureDetector {

@@ -14,6 +14,7 @@ use mdn_core::controller::MdnController;
 use mdn_core::encoder::SoundingDevice;
 use mdn_core::freqplan::FrequencyPlan;
 use std::time::Duration;
+use mdn_acoustics::Window;
 
 const SR: u32 = 44_100;
 
@@ -67,7 +68,7 @@ fn two_apps_share_the_air_without_crosstalk() {
             .unwrap();
     }
 
-    let events = ctl.listen(&scene, Duration::ZERO, Duration::from_millis(1500));
+    let events = ctl.listen(&scene, Window::from_start(Duration::from_millis(1500)));
 
     // The queue monitor sees exactly its band sequence.
     let monitor = QueueMonitor::new("switch-a", mapper);

@@ -5,12 +5,13 @@
 //! bit-identical for any shard thread count.
 
 use mdn_acoustics::ambient::AmbientProfile;
-use mdn_core::cells::{CellConfig, CellEvent, CellPlan, ShardedController};
+use mdn_core::cells::{CellConfig, CellPlan, ShardEvent, ShardedController};
 use mdn_core::freqplan::{FrequencyPlan, PlanError};
 use mdn_obs::Registry;
 use std::collections::BTreeSet;
 use std::sync::OnceLock;
 use std::time::Duration;
+use mdn_acoustics::Window;
 
 const SR: u32 = 44_100;
 const CELLS: usize = 20;
@@ -61,12 +62,12 @@ fn emitted_scene() -> &'static EmittedScene {
     })
 }
 
-fn listen_with_threads(threads: usize) -> Vec<CellEvent> {
+fn listen_with_threads(threads: usize) -> Vec<ShardEvent> {
     let (scene, plan, _) = emitted_scene();
     let mut sharded = ShardedController::new(plan);
     sharded.set_threads(threads);
-    sharded.calibrate(scene, Duration::ZERO, Duration::from_millis(500));
-    sharded.listen(scene, Duration::from_millis(550), Duration::from_millis(500))
+    sharded.calibrate(scene, Window::from_start(Duration::from_millis(500)));
+    sharded.listen(scene, Window::new(Duration::from_millis(550), Duration::from_millis(500)))
 }
 
 /// A flat single-mic plan cannot even allocate this deployment: it
@@ -103,14 +104,14 @@ fn hundred_twenty_switches_decode_with_reuse() {
     let events = listen_with_threads(0);
     let heard: BTreeSet<(usize, String, usize)> = events
         .iter()
-        .map(|e| (e.cell, e.event.device.clone(), e.event.slot))
+        .map(|e| (e.shard, e.event.device.clone(), e.event.slot))
         .collect();
     assert_eq!(&heard, expected, "decode/attribution mismatch");
     // Attribution is structural: a cell's controller only knows its own
     // devices, and device names encode the cell.
     for e in &events {
         assert!(
-            e.event.device.starts_with(&format!("c{}-", e.cell)),
+            e.event.device.starts_with(&format!("c{}-", e.shard)),
             "event {:?} attributed across cells",
             e
         );
@@ -144,9 +145,9 @@ fn obs_reports_per_cell_counters_and_reuse_gauge() {
     let registry = Registry::new();
     let mut sharded = ShardedController::new(plan);
     sharded.attach_obs(&registry);
-    sharded.calibrate(scene, Duration::ZERO, Duration::from_millis(500));
+    sharded.calibrate(scene, Window::from_start(Duration::from_millis(500)));
     let events =
-        sharded.listen(scene, Duration::from_millis(550), Duration::from_millis(500));
+        sharded.listen(scene, Window::new(Duration::from_millis(550), Duration::from_millis(500)));
     let snap = registry.snapshot();
     assert_eq!(
         snap.gauges["mdn_cells_reuse_factor"],

@@ -10,6 +10,7 @@ use mdn_core::controller::MdnController;
 use mdn_core::encoder::SoundingDevice;
 use mdn_core::freqplan::FrequencyPlan;
 use std::time::Duration;
+use mdn_acoustics::Window;
 
 const SR: u32 = 44_100;
 
@@ -40,7 +41,7 @@ fn tone_survives_office_noise_without_calibration() {
         Duration::from_millis(100),
     )
     .unwrap();
-    let events = ctl.listen(&scene, Duration::ZERO, Duration::from_millis(500));
+    let events = ctl.listen(&scene, Window::from_start(Duration::from_millis(500)));
     assert!(events.iter().any(|e| e.slot == 2), "{events:?}");
 }
 
@@ -49,14 +50,10 @@ fn datacenter_noise_needs_calibration_and_then_works() {
     let (mut scene, mut dev) = one_tone_scene(AmbientProfile::datacenter(), 78.0, 2);
     let mut ctl = controller_for(&dev, Pos::new(0.4, 0.0, 0.0));
     // Calibrate the floor on the tone-free room.
-    let ambient = ctl.capture(&scene, Duration::ZERO, Duration::from_millis(500));
+    let ambient = ctl.capture(&scene, Window::from_start(Duration::from_millis(500)));
     ctl.calibrate(&ambient);
     // The tone-free room must now be silent to the detector...
-    let quiet = ctl.listen(
-        &scene,
-        Duration::from_millis(500),
-        Duration::from_millis(500),
-    );
+    let quiet = ctl.listen(&scene, Window::new(Duration::from_millis(500), Duration::from_millis(500)));
     assert!(
         quiet.is_empty(),
         "false positives in calibrated datacenter: {quiet:?}"
@@ -69,11 +66,7 @@ fn datacenter_noise_needs_calibration_and_then_works() {
         Duration::from_millis(150),
     )
     .unwrap();
-    let events = ctl.listen(
-        &scene,
-        Duration::from_millis(1100),
-        Duration::from_millis(400),
-    );
+    let events = ctl.listen(&scene, Window::new(Duration::from_millis(1100), Duration::from_millis(400)));
     assert!(
         events.iter().any(|e| e.slot == 1),
         "tone lost in datacenter: {events:?}"
@@ -93,7 +86,7 @@ fn music_interference_does_not_forge_or_mask_the_symbol() {
     let mut ctl = controller_for(&dev, Pos::new(0.4, 0.0, 0.0));
     // Calibrate against room + music so the music's own partials don't
     // register (the paper's multi-application frequency-planning argument).
-    let noise = ctl.capture(&scene, Duration::ZERO, Duration::from_millis(700));
+    let noise = ctl.capture(&scene, Window::from_start(Duration::from_millis(700)));
     ctl.calibrate(&noise);
     dev.emit_slot(
         &mut scene,
@@ -102,11 +95,7 @@ fn music_interference_does_not_forge_or_mask_the_symbol() {
         Duration::from_millis(150),
     )
     .unwrap();
-    let events = ctl.listen(
-        &scene,
-        Duration::from_millis(900),
-        Duration::from_millis(400),
-    );
+    let events = ctl.listen(&scene, Window::new(Duration::from_millis(900), Duration::from_millis(400)));
     assert!(
         events.iter().any(|e| e.slot == 3),
         "tone masked by music: {events:?}"
@@ -126,7 +115,7 @@ fn detection_degrades_gracefully_with_distance() {
     for &dist in &[1.0, 4.0, 16.0, 64.0] {
         let (mut scene, mut dev) = one_tone_scene(AmbientProfile::office(), 65.0, 4);
         let mut ctl = controller_for(&dev, Pos::new(dist, 0.0, 0.0));
-        let noise = ctl.capture(&scene, Duration::ZERO, Duration::from_millis(400));
+        let noise = ctl.capture(&scene, Window::from_start(Duration::from_millis(400)));
         ctl.calibrate(&noise);
         dev.emit_slot(
             &mut scene,
@@ -135,11 +124,7 @@ fn detection_degrades_gracefully_with_distance() {
             Duration::from_millis(150),
         )
         .unwrap();
-        let events = ctl.listen(
-            &scene,
-            Duration::from_millis(500),
-            Duration::from_millis(400),
-        );
+        let events = ctl.listen(&scene, Window::new(Duration::from_millis(500), Duration::from_millis(400)));
         detected_at.push((dist, events.iter().any(|e| e.slot == 0)));
     }
     assert!(detected_at[0].1, "1 m must work: {detected_at:?}");
@@ -185,12 +170,8 @@ fn twenty_hz_neighbours_resolve_end_to_end() {
         )
         .unwrap();
 
-    let early = ctl.listen(&scene, Duration::ZERO, Duration::from_millis(400));
-    let late = ctl.listen(
-        &scene,
-        Duration::from_millis(500),
-        Duration::from_millis(400),
-    );
+    let early = ctl.listen(&scene, Window::from_start(Duration::from_millis(400)));
+    let late = ctl.listen(&scene, Window::new(Duration::from_millis(500), Duration::from_millis(400)));
     assert!(
         !early.is_empty() && early.iter().all(|e| e.device == "a"),
         "{early:?}"

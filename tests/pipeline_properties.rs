@@ -10,6 +10,7 @@ use mdn_core::encoder::SoundingDevice;
 use mdn_core::freqplan::FrequencyPlan;
 use proptest::prelude::*;
 use std::time::Duration;
+use mdn_acoustics::Window;
 
 const SR: u32 = 44_100;
 
@@ -42,7 +43,7 @@ proptest! {
         let mut ctl = MdnController::new(Microphone::measurement(), Pos::new(mic_x, 0.0, 0.0));
         ctl.bind_device("dev", set);
         let total = Duration::from_millis(100 + gap_ms * slots.len() as u64 + 300);
-        let events = ctl.listen(&scene, Duration::ZERO, total);
+        let events = ctl.listen(&scene, Window::from_start(total));
         let decoded: Vec<usize> = collapse_events(&events, Duration::from_millis(150))
             .iter()
             .map(|e| e.slot)
@@ -74,7 +75,7 @@ proptest! {
         let mut ctl = MdnController::new(Microphone::measurement(), Pos::new(0.4, 0.4, 0.0));
         ctl.bind_device("a", set_a);
         ctl.bind_device("b", set_b);
-        let events = ctl.listen(&scene, Duration::ZERO, Duration::from_millis(900));
+        let events = ctl.listen(&scene, Window::from_start(Duration::from_millis(900)));
         prop_assert!(!events.is_empty());
         for e in &events {
             let expected = if e.device == "a" { a_slot } else { b_slot };
@@ -96,7 +97,7 @@ proptest! {
         dev.emit_slot(&mut scene, slot, Duration::from_millis(100), Duration::from_millis(100)).unwrap();
         let mut ctl = MdnController::new(Microphone::measurement(), Pos::new(0.5, 0.0, 0.0));
         ctl.bind_device("dev", set);
-        let run = || ctl.listen(&scene, Duration::ZERO, Duration::from_millis(400));
+        let run = || ctl.listen(&scene, Window::from_start(Duration::from_millis(400)));
         prop_assert_eq!(run(), run());
     }
 }

@@ -11,6 +11,7 @@ use mdn_core::freqplan::{FrequencyPlan, FrequencySet};
 use mdn_core::relay::ToneRelay;
 use std::collections::BTreeSet;
 use std::time::Duration;
+use mdn_acoustics::Window;
 
 const SR: u32 = 44_100;
 const HOP_M: f64 = 5.0;
@@ -62,7 +63,7 @@ fn three_hop_chain_preserves_every_symbol() {
 
     // Each relay processes the window after its upstream spoke.
     for (i, relay) in relays.iter_mut().enumerate() {
-        let heard = relay.relay_window(&mut scene, WINDOW * i as u32, WINDOW);
+        let heard = relay.relay_window(&mut scene, Window::new(WINDOW * i as u32, WINDOW));
         assert_eq!(
             heard,
             BTreeSet::from([1, 3]),
@@ -76,7 +77,7 @@ fn three_hop_chain_preserves_every_symbol() {
         Pos::new(HOP_M * 3.0 + 1.0, 0.0, 0.0),
     );
     ctl.bind_device("relay-2", sets[3].clone());
-    let events = ctl.listen(&scene, WINDOW * 3, WINDOW + Duration::from_millis(100));
+    let events = ctl.listen(&scene, Window::new(WINDOW * 3, WINDOW + Duration::from_millis(100)));
     let slots: BTreeSet<usize> = events.iter().map(|e| e.slot).collect();
     assert_eq!(
         slots,
@@ -103,7 +104,7 @@ fn relaying_beats_direct_listening_at_distance() {
     source.level_db = quiet_level;
     let mut direct_ctl = MdnController::new(Microphone::measurement(), far);
     direct_ctl.bind_device("src", sets[0].clone());
-    let floor = direct_ctl.capture(&scene, Duration::ZERO, Duration::from_millis(400));
+    let floor = direct_ctl.capture(&scene, Window::from_start(Duration::from_millis(400)));
     direct_ctl.calibrate(&floor);
     source
         .emit_slot(
@@ -113,7 +114,7 @@ fn relaying_beats_direct_listening_at_distance() {
             Duration::from_millis(100),
         )
         .unwrap();
-    let direct = direct_ctl.listen(&scene, Duration::from_millis(450), WINDOW);
+    let direct = direct_ctl.listen(&scene, Window::new(Duration::from_millis(450), WINDOW));
     assert!(
         direct.is_empty(),
         "12 m direct listening unexpectedly worked — relaying unneeded: {direct:?}"
@@ -128,7 +129,7 @@ fn relaying_beats_direct_listening_at_distance() {
         sets[1].clone(),
         Pos::new(2.0, 0.0, 0.0),
     );
-    relay.calibrate(&scene, Duration::ZERO, Duration::from_millis(400));
+    relay.calibrate(&scene, Window::from_start(Duration::from_millis(400)));
     let mut source = SoundingDevice::new("src", sets[0].clone(), Pos::ORIGIN);
     source.level_db = quiet_level;
     source
@@ -139,15 +140,11 @@ fn relaying_beats_direct_listening_at_distance() {
             Duration::from_millis(100),
         )
         .unwrap();
-    let heard = relay.relay_window(&mut scene, Duration::from_millis(400), WINDOW);
+    let heard = relay.relay_window(&mut scene, Window::new(Duration::from_millis(400), WINDOW));
     assert_eq!(heard, BTreeSet::from([2]), "relay missed the quiet source");
     let mut relayed_ctl = MdnController::new(Microphone::measurement(), far);
     relayed_ctl.bind_device("relay", sets[1].clone());
-    let events = relayed_ctl.listen(
-        &scene,
-        Duration::from_millis(700),
-        WINDOW + Duration::from_millis(100),
-    );
+    let events = relayed_ctl.listen(&scene, Window::new(Duration::from_millis(700), WINDOW + Duration::from_millis(100)));
     assert!(
         events.iter().any(|e| e.slot == 2),
         "relayed symbol lost: {events:?}"
@@ -175,6 +172,6 @@ fn relay_counts_symbols_for_capacity_accounting() {
         sets[1].clone(),
         Pos::new(2.0, 0.0, 0.0),
     );
-    relay.relay_window(&mut scene, Duration::ZERO, WINDOW);
+    relay.relay_window(&mut scene, Window::from_start(WINDOW));
     assert_eq!(relay.relayed, 3);
 }

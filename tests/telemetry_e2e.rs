@@ -14,6 +14,7 @@ use mdn_net::packet::{FlowKey, Ip};
 use mdn_net::topology;
 use mdn_net::traffic::TrafficPattern;
 use std::time::Duration;
+use mdn_acoustics::Window;
 
 const SR: u32 = 44_100;
 const SLOTS: usize = 48;
@@ -74,7 +75,7 @@ fn ddos_on_victim_is_heard() {
 
     let mut ctl = MdnController::new(Microphone::measurement(), Pos::new(0.4, 0.2, 0.0));
     ctl.bind_device("tor", set);
-    let events = ctl.listen(&scene, Duration::ZERO, total);
+    let events = ctl.listen(&scene, Window::from_start(total));
     let det =
         SuperspreaderDetector::new("tor", WatchMode::VictimSources, Duration::from_secs(1), 10);
     let alerts = det.analyze(&events);
@@ -130,7 +131,7 @@ fn normal_client_mix_is_not_a_ddos() {
     }
     let mut ctl = MdnController::new(Microphone::measurement(), Pos::new(0.4, 0.2, 0.0));
     ctl.bind_device("tor", set);
-    let events = ctl.listen(&scene, Duration::ZERO, total);
+    let events = ctl.listen(&scene, Window::from_start(total));
     let det =
         SuperspreaderDetector::new("tor", WatchMode::VictimSources, Duration::from_secs(1), 10);
     assert!(
@@ -195,7 +196,7 @@ fn detection_is_routing_oblivious() {
         }
         let mut ctl = MdnController::new(Microphone::measurement(), Pos::new(0.4, 0.2, 0.0));
         ctl.bind_device("mon", set);
-        let events = ctl.listen(&scene, Duration::ZERO, total);
+        let events = ctl.listen(&scene, Window::from_start(total));
         HeavyHitterDetector::new("mon", Duration::from_secs(1), 5).persistent_hitters(&events, 0.5)
     };
 

@@ -9,6 +9,7 @@ use mdn_core::encoder::SoundingDevice;
 use mdn_core::freqplan::FrequencyPlan;
 use std::collections::BTreeSet;
 use std::time::Duration;
+use mdn_acoustics::Window;
 
 const SR: u32 = 44_100;
 const SWITCHES: usize = 7;
@@ -55,7 +56,7 @@ fn seven_switches_simultaneously() {
         .unwrap();
         expected.insert((dev.name.clone(), slot));
     }
-    let events = ctl.listen(&scene, Duration::ZERO, Duration::from_millis(400));
+    let events = ctl.listen(&scene, Window::from_start(Duration::from_millis(400)));
     let heard: BTreeSet<(String, usize)> =
         events.iter().map(|e| (e.device.clone(), e.slot)).collect();
     assert_eq!(heard, expected, "attribution failed");
@@ -67,7 +68,7 @@ fn seven_switches_simultaneously() {
 fn seven_switches_sequential_in_office_noise() {
     let (mut scene, mut devices, mut ctl) = build(AmbientProfile::office(), 20.0, 3);
     scene.set_ambient_seed(17);
-    let ambient = ctl.capture(&scene, Duration::ZERO, Duration::from_millis(500));
+    let ambient = ctl.capture(&scene, Window::from_start(Duration::from_millis(500)));
     ctl.calibrate(&ambient);
     // Each switch sounds one tone, 250 ms apart.
     let mut sent = Vec::new();
@@ -78,7 +79,7 @@ fn seven_switches_sequential_in_office_noise() {
         sent.push((dev.name.clone(), slot));
     }
     let total = Duration::from_millis(600 + 250 * SWITCHES as u64 + 300);
-    let events = ctl.listen(&scene, Duration::from_millis(500), total);
+    let events = ctl.listen(&scene, Window::new(Duration::from_millis(500), total));
     let tones = collapse_events(&events, Duration::from_millis(100));
     let decoded: Vec<(String, usize)> =
         tones.iter().map(|e| (e.device.clone(), e.slot)).collect();

@@ -1,0 +1,202 @@
+//! Property-based contract of the windowed render path: any window of a
+//! scene renders byte-identically to the same span of a from-zero render,
+//! for any emissions, ambient profile/seed, fault plan, and thread count —
+//! and a [`SceneCursor`](mdn_acoustics::scene::SceneCursor) walking the
+//! timeline in arbitrary chunks reproduces the batch render exactly.
+
+use mdn_acoustics::ambient::AmbientProfile;
+use mdn_acoustics::faults::{SceneFaultPlan, Window};
+use mdn_acoustics::medium::Pos;
+use mdn_acoustics::mic::Microphone;
+use mdn_acoustics::scene::Scene;
+use mdn_audio::synth::Tone;
+use mdn_core::controller::MdnController;
+use proptest::prelude::*;
+use std::time::Duration;
+
+const SR: u32 = 44_100;
+
+const MS: fn(u64) -> Duration = Duration::from_millis;
+
+/// One randomly placed tone emission.
+#[derive(Debug, Clone)]
+struct Emission {
+    freq: f64,
+    start_ms: u64,
+    dur_ms: u64,
+    x: f64,
+    y: f64,
+}
+
+fn emission_strategy() -> impl Strategy<Value = Emission> {
+    (
+        300.0f64..6_000.0,
+        0u64..700,
+        30u64..200,
+        -20.0f64..20.0,
+        -5.0f64..5.0,
+    )
+        .prop_map(|(freq, start_ms, dur_ms, x, y)| Emission {
+            freq,
+            start_ms,
+            dur_ms,
+            x,
+            y,
+        })
+}
+
+/// An optional fault plan: a noise burst, a mic-dead interval, and a
+/// speaker dropout, each present ~half the time.
+#[derive(Debug, Clone)]
+struct Faults {
+    burst: Option<(u64, u64, f64)>,
+    mic_dead: Option<(u64, u64)>,
+    dropout: Option<(u64, u64)>,
+    seed: u64,
+}
+
+fn faults_strategy() -> impl Strategy<Value = Faults> {
+    (
+        proptest::option::of((0u64..800, 20u64..300, 30.0f64..60.0)),
+        proptest::option::of((0u64..800, 20u64..300)),
+        proptest::option::of((0u64..800, 20u64..300)),
+        0u64..1000,
+    )
+        .prop_map(|(burst, mic_dead, dropout, seed)| Faults {
+            burst,
+            mic_dead,
+            dropout,
+            seed,
+        })
+}
+
+fn build_scene(
+    emissions: &[Emission],
+    ambient_idx: usize,
+    ambient_seed: u64,
+    faults: &Faults,
+    threads: usize,
+) -> Scene {
+    let profile = match ambient_idx % 3 {
+        0 => AmbientProfile::quiet(),
+        1 => AmbientProfile::office(),
+        _ => AmbientProfile::datacenter(),
+    };
+    let mut scene = Scene::new(SR, profile);
+    scene.set_ambient_seed(ambient_seed);
+    scene.set_render_threads(threads);
+    let mut plan = SceneFaultPlan::new(faults.seed);
+    if let Some((from, len, spl)) = faults.burst {
+        plan = plan.noise_burst(Window::new(MS(from), MS(len)), spl);
+    }
+    if let Some((from, len)) = faults.mic_dead {
+        plan = plan.mic_dead(Window::new(MS(from), MS(len)));
+    }
+    if let Some((from, len)) = faults.dropout {
+        plan = plan.speaker_dropout("sw-0", Window::new(MS(from), MS(len)));
+    }
+    scene.set_faults(plan);
+    for (k, e) in emissions.iter().enumerate() {
+        let tone = Tone::new(e.freq, MS(e.dur_ms), 0.05).render(SR);
+        scene.add(
+            Pos::new(e.x, e.y, 0.0),
+            MS(e.start_ms),
+            tone,
+            format!("sw-{k}"),
+        );
+    }
+    scene
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `render_window(w)` is bit-for-bit the `w` span of a from-zero
+    /// render, whatever the emissions, ambient bed, faults, or thread
+    /// count.
+    #[test]
+    fn window_render_equals_full_render_slice(
+        emissions in proptest::collection::vec(emission_strategy(), 0..4),
+        ambient_idx in 0usize..3,
+        ambient_seed in 0u64..1000,
+        faults in faults_strategy(),
+        threads in 0usize..4,
+        from_ms in 0u64..900,
+        len_ms in 0u64..600,
+    ) {
+        let scene = build_scene(&emissions, ambient_idx, ambient_seed, &faults, threads);
+        let w = Window::new(MS(from_ms), MS(len_ms));
+        let listener = Pos::new(0.5, 0.3, 0.0);
+        let full = scene.render_at(listener, w.end());
+        let windowed = scene.render_window(listener, w);
+        let (a, b) = w.sample_range(SR);
+        prop_assert_eq!(windowed.samples(), &full.samples()[a..b]);
+    }
+
+    /// Thread count never changes a windowed render: every worker split
+    /// produces the single-thread byte stream.
+    #[test]
+    fn thread_count_is_invisible(
+        emissions in proptest::collection::vec(emission_strategy(), 1..4),
+        ambient_seed in 0u64..1000,
+        faults in faults_strategy(),
+        from_ms in 0u64..500,
+        len_ms in 100u64..800,
+    ) {
+        let listener = Pos::new(0.5, 0.3, 0.0);
+        let w = Window::new(MS(from_ms), MS(len_ms));
+        let render = |threads: usize| {
+            build_scene(&emissions, 2, ambient_seed, &faults, threads)
+                .render_window(listener, w)
+        };
+        let reference = render(1);
+        for threads in [2, 3, 8] {
+            prop_assert_eq!(render(threads).samples(), reference.samples(),
+                "thread count {} changed the render", threads);
+        }
+    }
+
+    /// A cursor advancing in arbitrary chunk sizes concatenates to exactly
+    /// the batch render of the same span.
+    #[test]
+    fn cursor_chunks_equal_batch(
+        emissions in proptest::collection::vec(emission_strategy(), 0..4),
+        ambient_seed in 0u64..1000,
+        faults in faults_strategy(),
+        threads in 0usize..4,
+        chunks_ms in proptest::collection::vec(1u64..400, 1..6),
+    ) {
+        let scene = build_scene(&emissions, 1, ambient_seed, &faults, threads);
+        let listener = Pos::new(0.5, 0.3, 0.0);
+        let mut cursor = scene.cursor(listener);
+        let mut streamed: Vec<f32> = Vec::new();
+        for &c in &chunks_ms {
+            streamed.extend_from_slice(cursor.advance(MS(c)).samples());
+        }
+        let total: u64 = chunks_ms.iter().sum();
+        let batch = scene.render_at(listener, MS(total));
+        prop_assert_eq!(cursor.position(), MS(total));
+        prop_assert_eq!(streamed.len(), batch.len());
+        prop_assert_eq!(&streamed[..], batch.samples());
+    }
+
+    /// The two public capture paths are one implementation: capturing
+    /// through a controller equals capturing from the scene directly.
+    #[test]
+    fn controller_capture_equals_scene_capture(
+        emissions in proptest::collection::vec(emission_strategy(), 0..3),
+        ambient_seed in 0u64..1000,
+        from_ms in 0u64..400,
+        len_ms in 0u64..500,
+    ) {
+        let scene = build_scene(&emissions, 2, ambient_seed, &Faults {
+            burst: None, mic_dead: None, dropout: None, seed: 0,
+        }, 0);
+        let w = Window::new(MS(from_ms), MS(len_ms));
+        let pos = Pos::new(0.4, 0.0, 0.0);
+        let ctl = MdnController::new(Microphone::measurement(), pos);
+        let via_ctl = ctl.capture(&scene, w);
+        let via_scene = scene.capture(&ctl.mic, pos, w);
+        prop_assert_eq!(via_ctl.samples(), via_scene.samples());
+    }
+}
