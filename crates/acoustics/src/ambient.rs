@@ -6,7 +6,10 @@
 //! bed at a calibrated SPL; the fan-failure experiment (§7 / Figures 6–7)
 //! runs the same detector against both.
 
-use mdn_audio::noise::{band_noise_add, pink_noise_add, white_noise_add};
+use mdn_audio::noise::{
+    band_noise_add, band_noise_psd, pink_noise_add, pink_noise_psd, white_noise_add,
+    white_noise_psd,
+};
 use mdn_audio::signal::{spl_to_amplitude, Signal, Window};
 use std::f64::consts::TAU;
 use std::time::Duration;
@@ -86,6 +89,55 @@ impl AmbientProfile {
         spl_to_amplitude(self.level_spl) / power.sqrt().max(1e-12)
     }
 
+    /// Expected tone-equivalent magnitude the bed leaks into one detector
+    /// bin of width `bin_hz` centred at `freq_hz` — the amplitude a
+    /// Goertzel-style detector (normalized so a sinusoid of peak
+    /// amplitude `a` reads `a`) typically reports for this bed at that
+    /// frequency.
+    ///
+    /// Composed from each component's analytic one-sided PSD (white flat,
+    /// pink per Voss row, rumble per the band filter's real `|H|⁴`
+    /// response): broadband parts contribute `√(2·S(f)·bin_hz)` in power
+    /// sum; hum lines are tonal, so a line contributes its full amplitude
+    /// when it falls in the bin, decaying with a conservative
+    /// `1/(1 + (Δf/bin)²)` skirt off-bin.
+    pub fn bin_leakage(&self, freq_hz: f64, bin_hz: f64, sample_rate: u32) -> f64 {
+        self.peak_bin_leakage(freq_hz, freq_hz, bin_hz, sample_rate)
+    }
+
+    /// Worst-case [`Self::bin_leakage`] over every bin centre
+    /// `lo_hz, lo_hz + bin_hz, …` up to `hi_hz` — the floor a detector
+    /// watching any slot in that range must stay above to gate this bed
+    /// out. Walks real bin centres, so a slot grid with `bin_hz` spacing
+    /// starting at `lo_hz` is evaluated exactly.
+    pub fn peak_bin_leakage(&self, lo_hz: f64, hi_hz: f64, bin_hz: f64, sample_rate: u32) -> f64 {
+        assert!(bin_hz > 0.0, "bin width must be positive");
+        assert!(hi_hz >= lo_hz, "inverted range {lo_hz}..{hi_hz}");
+        let gain = self.mix_gain();
+        let white_psd = if self.pink_fraction < 1.0 {
+            white_noise_psd((1.0 - self.pink_fraction) * gain, sample_rate)
+        } else {
+            0.0
+        };
+        let pink_rms = self.pink_fraction * gain;
+        let mut worst = 0.0f64;
+        let bins = ((hi_hz - lo_hz) / bin_hz).floor() as usize + 1;
+        for b in 0..bins {
+            let f = lo_hz + b as f64 * bin_hz;
+            let mut psd = white_psd + pink_noise_psd(pink_rms, f, sample_rate);
+            if let Some((lo, hi, amp)) = self.rumble_band {
+                psd += band_noise_psd(amp * gain, lo, hi, f, sample_rate);
+            }
+            let mut mag = (2.0 * psd * bin_hz).sqrt();
+            for &(line, amp) in &self.hum_lines {
+                let df = (f - line) / bin_hz;
+                mag += amp * gain / (1.0 + df * df);
+            }
+            worst = worst.max(mag);
+        }
+        worst
+    }
+
     /// Add samples `[from, from + out.len())` of the infinite ambient
     /// stream into `out`. Every sample is a pure function of its absolute
     /// index, so any window of the stream renders byte-identically to the
@@ -154,6 +206,61 @@ mod tests {
                 profile.level_spl
             );
         }
+    }
+
+    #[test]
+    fn bin_leakage_tracks_spectral_concentration() {
+        // The datacenter bed stacks rumble, pink tilt, and hum at low
+        // frequencies: the model must report far more leakage at 400 Hz
+        // than a flat spread of the same total power would, and far more
+        // than at 10 kHz, where only the white tail remains.
+        let dc = AmbientProfile::datacenter();
+        let uniform =
+            mdn_audio::signal::spl_to_amplitude(dc.level_spl) * (20.0f64 / 20_000.0).sqrt();
+        assert!(
+            dc.bin_leakage(400.0, 20.0, SR) > 1.5 * uniform,
+            "low-band leakage {:.3e} should beat the uniform estimate {uniform:.3e}",
+            dc.bin_leakage(400.0, 20.0, SR)
+        );
+        assert!(dc.bin_leakage(400.0, 20.0, SR) > 5.0 * dc.bin_leakage(10_000.0, 20.0, SR));
+        // Quiet room: pink only, everything tiny.
+        assert!(AmbientProfile::quiet().bin_leakage(400.0, 20.0, SR) < 1e-4);
+    }
+
+    #[test]
+    fn peak_bin_leakage_bounds_the_rendered_bed() {
+        // The whole point of the estimate: real Goertzel magnitudes of the
+        // rendered bed must stay under ~3× the modeled per-bin leakage at
+        // every slot a detector might watch (the same headroom the
+        // detector's SNR gate assumes).
+        use mdn_audio::goertzel::Goertzel;
+        for profile in [AmbientProfile::office(), AmbientProfile::datacenter()] {
+            let bed = profile.render(Duration::from_millis(400), SR, 0xBED);
+            let frame = (SR as usize) / 20; // 50 ms → 20 Hz resolution
+            for slot in 0..40 {
+                let f = 300.0 + slot as f64 * 20.0;
+                let est = profile.bin_leakage(f, 20.0, SR);
+                for start in (0..bed.samples().len() - frame).step_by(frame / 2) {
+                    let mag = Goertzel::new(f, SR).magnitude(&bed.samples()[start..start + frame]);
+                    assert!(
+                        mag < 3.0 * est,
+                        "{} at {f} Hz: measured {mag:.3e} vs estimate {est:.3e}",
+                        profile.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn peak_bin_leakage_is_the_range_maximum() {
+        let dc = AmbientProfile::datacenter();
+        let peak = dc.peak_bin_leakage(300.0, 1100.0, 20.0, SR);
+        let mut max_single = 0.0f64;
+        for slot in 0..41 {
+            max_single = max_single.max(dc.bin_leakage(300.0 + slot as f64 * 20.0, 20.0, SR));
+        }
+        assert!((peak - max_single).abs() < 1e-12);
     }
 
     #[test]

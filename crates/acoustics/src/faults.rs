@@ -8,6 +8,7 @@
 //! make the acoustic channel fail during a chosen part of the experiment
 //! and prove the control loop rides through it.
 
+use crate::medium::Pos;
 use std::time::Duration;
 
 pub use mdn_audio::signal::Window;
@@ -17,16 +18,27 @@ pub use mdn_audio::signal::Window;
 /// * **Speaker dropouts** — emissions whose label matches are silently
 ///   skipped when they *start* inside the window (a dead amplifier plays
 ///   nothing).
+/// * **Speaker degradations** — matching emissions are attenuated by a
+///   fixed number of dB instead of muted (a blown cone, a loose
+///   connector: quieter, not silent).
 /// * **Mic dead intervals** — the rendered signal is zeroed inside the
-///   window (a capture chain that briefly dies).
+///   window (a capture chain that briefly dies). The positional variant
+///   ([`SceneFaultPlan::mic_dead_at`]) only silences listeners within a
+///   radius of a point, so one cell's mic can die while its neighbours
+///   keep hearing.
 /// * **Noise bursts** — seeded white noise at a given dB SPL is mixed in
 ///   over the window (a fan spinning up, a door slamming).
 #[derive(Debug, Clone, Default)]
 pub struct SceneFaultPlan {
     /// `(emitter label, window)` pairs: matching emissions are muted.
     speaker_dropouts: Vec<(String, Window)>,
-    /// Windows where the listener hears nothing at all.
+    /// `(emitter label, window, linear gain)` partial attenuations.
+    speaker_degradations: Vec<(String, Window, f64)>,
+    /// Windows where every listener hears nothing at all.
     mic_dead: Vec<Window>,
+    /// `(centre, radius m, window)` zones where nearby listeners hear
+    /// nothing.
+    mic_dead_zones: Vec<(Pos, f64, Window)>,
     /// `(window, level dB SPL)` noise bursts.
     noise_bursts: Vec<(Window, f64)>,
     /// Seed for the burst noise generators.
@@ -48,9 +60,41 @@ impl SceneFaultPlan {
         self
     }
 
+    /// Attenuate emissions labelled `label` that start inside `window` by
+    /// `attenuation_db` dB (a degraded speaker: quieter, not silent).
+    ///
+    /// # Panics
+    /// Panics if `attenuation_db` is negative (that would be a gain).
+    pub fn speaker_degraded(
+        mut self,
+        label: impl Into<String>,
+        window: Window,
+        attenuation_db: f64,
+    ) -> Self {
+        assert!(
+            attenuation_db >= 0.0,
+            "attenuation must be non-negative dB, got {attenuation_db}"
+        );
+        let gain = 10f64.powf(-attenuation_db / 20.0);
+        self.speaker_degradations.push((label.into(), window, gain));
+        self
+    }
+
     /// Zero everything the listener hears inside `window`.
     pub fn mic_dead(mut self, window: Window) -> Self {
         self.mic_dead.push(window);
+        self
+    }
+
+    /// Zero what listeners within `radius_m` metres of `centre` hear
+    /// inside `window` — a positional mic kill that leaves far-away
+    /// listeners (other cells' mics) untouched.
+    pub fn mic_dead_at(mut self, centre: Pos, radius_m: f64, window: Window) -> Self {
+        assert!(
+            radius_m >= 0.0,
+            "radius must be non-negative, got {radius_m}"
+        );
+        self.mic_dead_zones.push((centre, radius_m, window));
         self
     }
 
@@ -67,9 +111,35 @@ impl SceneFaultPlan {
             .any(|(l, w)| l == label && w.contains(start))
     }
 
+    /// Combined linear gain applied to the emitter labelled `label` at
+    /// `start` by every matching degradation (`1.0` when undegraded).
+    pub fn speaker_gain(&self, label: &str, start: Duration) -> f64 {
+        self.speaker_degradations
+            .iter()
+            .filter(|(l, w, _)| l == label && w.contains(start))
+            .map(|(_, _, g)| g)
+            .product()
+    }
+
     /// Mic-dead windows.
     pub fn mic_dead_windows(&self) -> &[Window] {
         &self.mic_dead
+    }
+
+    /// Positional mic-dead zones as `(centre, radius m, window)`.
+    pub fn mic_dead_zones(&self) -> &[(Pos, f64, Window)] {
+        &self.mic_dead_zones
+    }
+
+    /// The mic-dead windows that apply to a listener at `pos`: every
+    /// global window plus the zones whose radius covers `pos`.
+    pub fn mic_dead_windows_at(&self, pos: Pos) -> impl Iterator<Item = Window> + '_ {
+        self.mic_dead.iter().copied().chain(
+            self.mic_dead_zones
+                .iter()
+                .filter(move |(c, r, _)| c.distance(&pos) <= *r)
+                .map(|(_, _, w)| *w),
+        )
     }
 
     /// Noise bursts as `(window, level dB SPL)`.
@@ -111,5 +181,33 @@ mod tests {
         assert!(plan.speaker_muted("sw-1", MS(150)));
         assert!(!plan.speaker_muted("sw-1", MS(350)));
         assert!(!plan.speaker_muted("sw-2", MS(150)));
+    }
+
+    #[test]
+    fn degradations_compound_and_scope_to_label_and_window() {
+        let w = Window::between(MS(100), MS(300));
+        let plan = SceneFaultPlan::new(0)
+            .speaker_degraded("sw-1", w, 6.0)
+            .speaker_degraded("sw-1", w, 6.0)
+            .speaker_degraded("sw-2", w, 40.0);
+        let g = plan.speaker_gain("sw-1", MS(150));
+        let expect = 10f64.powf(-12.0 / 20.0);
+        assert!((g - expect).abs() < 1e-12, "two 6 dB cuts compound: {g}");
+        assert_eq!(plan.speaker_gain("sw-1", MS(350)), 1.0, "outside window");
+        assert_eq!(plan.speaker_gain("sw-3", MS(150)), 1.0, "other label");
+    }
+
+    #[test]
+    fn positional_mic_dead_zones_filter_by_listener() {
+        let w = Window::between(MS(100), MS(300));
+        let global = Window::between(MS(500), MS(600));
+        let plan =
+            SceneFaultPlan::new(0)
+                .mic_dead(global)
+                .mic_dead_at(Pos::new(1.0, 0.0, 0.0), 0.5, w);
+        let near: Vec<Window> = plan.mic_dead_windows_at(Pos::new(1.2, 0.0, 0.0)).collect();
+        assert_eq!(near, vec![global, w], "global window plus the zone");
+        let far: Vec<Window> = plan.mic_dead_windows_at(Pos::new(5.0, 0.0, 0.0)).collect();
+        assert_eq!(far, vec![global], "only the global window");
     }
 }

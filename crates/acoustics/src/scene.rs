@@ -34,6 +34,7 @@ use std::time::Duration;
 struct SceneObs {
     emissions: Counter,
     muted_emissions: Counter,
+    degraded_emissions: Counter,
     noise_bursts: Counter,
     mic_dead_windows: Counter,
     render_span: Histogram,
@@ -148,7 +149,8 @@ impl Scene {
 
     /// Register this scene's metrics with an observability registry:
     /// `mdn_scene_emissions_total`, fault-activation counters
-    /// (`mdn_scene_muted_emissions_total`, `mdn_scene_noise_bursts_total`,
+    /// (`mdn_scene_muted_emissions_total`,
+    /// `mdn_scene_degraded_emissions_total`, `mdn_scene_noise_bursts_total`,
     /// `mdn_scene_mic_dead_windows_total`), and the
     /// `mdn_stage_ns{stage="scene.render"}` span. Emissions already
     /// scheduled are carried over.
@@ -156,6 +158,7 @@ impl Scene {
         self.obs = SceneObs {
             emissions: registry.counter("mdn_scene_emissions_total", &[]),
             muted_emissions: registry.counter("mdn_scene_muted_emissions_total", &[]),
+            degraded_emissions: registry.counter("mdn_scene_degraded_emissions_total", &[]),
             noise_bursts: registry.counter("mdn_scene_noise_bursts_total", &[]),
             mic_dead_windows: registry.counter("mdn_scene_mic_dead_windows_total", &[]),
             render_span: registry.stage_histogram("scene.render"),
@@ -281,15 +284,21 @@ impl Scene {
                 break;
             }
             let e = &self.emissions[index.order[k]];
+            let mut fault_gain = 1.0;
             if let Some(plan) = &self.faults {
                 // A dead speaker plays nothing for the whole emission.
                 if plan.speaker_muted(&e.label, e.start) {
                     self.obs.muted_emissions.inc();
                     continue;
                 }
+                // A degraded speaker plays the whole emission quieter.
+                fault_gain = plan.speaker_gain(&e.label, e.start);
+                if fault_gain != 1.0 {
+                    self.obs.degraded_emissions.inc();
+                }
             }
             let dist = e.pos.distance(&listener);
-            let gain = spreading_gain(dist);
+            let gain = spreading_gain(dist) * fault_gain;
             let delay = Duration::from_secs_f64(propagation_delay_s(dist));
             let offset = duration_to_samples(e.start + delay, self.sample_rate);
             if offset >= b || offset + e.signal.len() <= a {
@@ -360,8 +369,12 @@ impl Scene {
         if a == b {
             return;
         }
-        self.ambient
-            .render_into(out.samples_mut(), a as u64, self.sample_rate, self.ambient_seed);
+        self.ambient.render_into(
+            out.samples_mut(),
+            a as u64,
+            self.sample_rate,
+            self.ambient_seed,
+        );
         let placed = self.place_in_window(listener, w);
         self.mix_placed(&placed, a, out);
         if let Some(plan) = &self.faults {
@@ -385,7 +398,7 @@ impl Scene {
                     );
                 }
             }
-            for win in plan.mic_dead_windows() {
+            for win in plan.mic_dead_windows_at(listener) {
                 let begin = duration_to_samples(win.from, self.sample_rate).max(a);
                 let end = duration_to_samples(win.end(), self.sample_rate).min(b);
                 if begin < end {
@@ -502,7 +515,10 @@ mod tests {
     }
 
     fn win(from_ms: u64, len_ms: u64) -> Window {
-        Window::new(Duration::from_millis(from_ms), Duration::from_millis(len_ms))
+        Window::new(
+            Duration::from_millis(from_ms),
+            Duration::from_millis(len_ms),
+        )
     }
 
     #[test]
@@ -659,7 +675,10 @@ mod tests {
         )));
         let out = scene.render_at(Pos::new(0.5, 0.0, 0.0), Duration::from_millis(400));
         let dead = out.window(win(110, 80));
-        assert!(dead.samples().iter().all(|&s| s == 0.0), "dead window silent");
+        assert!(
+            dead.samples().iter().all(|&s| s == 0.0),
+            "dead window silent"
+        );
         let alive = out.window(win(250, 100));
         assert!(alive.samples().iter().any(|&s| s != 0.0));
     }
@@ -685,6 +704,73 @@ mod tests {
         assert_eq!(out.samples(), again.samples());
     }
 
+    #[test]
+    fn speaker_degraded_attenuates_by_the_given_db() {
+        let mut scene = Scene::quiet(SR);
+        scene.add(Pos::ORIGIN, Duration::ZERO, tone(1000.0, 300, 60.0), "sw-1");
+        let at = Pos::new(0.5, 0.0, 0.0);
+        let healthy = scene.render_at(at, Duration::from_millis(300));
+        scene.set_faults(SceneFaultPlan::new(0).speaker_degraded(
+            "sw-1",
+            Window::between(Duration::ZERO, Duration::from_secs(1)),
+            20.0,
+        ));
+        let degraded = scene.render_at(at, Duration::from_millis(300));
+        let h = Spectrum::of(&healthy).magnitude_at(1000.0);
+        let d = Spectrum::of(&degraded).magnitude_at(1000.0);
+        // 20 dB down is a 10x amplitude drop — quieter but not silent.
+        assert!(
+            (d / h - 0.1).abs() < 0.02,
+            "degraded/healthy ratio {} should be ~0.1",
+            d / h
+        );
+        assert!(d > spl_to_amplitude(30.0), "still audible");
+        // Outside the window the speaker plays at full level.
+        scene.set_faults(SceneFaultPlan::new(0).speaker_degraded(
+            "sw-1",
+            Window::between(Duration::from_secs(2), Duration::from_secs(3)),
+            20.0,
+        ));
+        let later = scene.render_at(at, Duration::from_millis(300));
+        let l = Spectrum::of(&later).magnitude_at(1000.0);
+        assert!((l / h - 1.0).abs() < 1e-6, "unwindowed ratio {}", l / h);
+    }
+
+    #[test]
+    #[should_panic(expected = "attenuation must be non-negative")]
+    fn speaker_degraded_rejects_negative_attenuation() {
+        let _ = SceneFaultPlan::new(0).speaker_degraded(
+            "sw",
+            Window::between(Duration::ZERO, Duration::from_secs(1)),
+            -3.0,
+        );
+    }
+
+    #[test]
+    fn positional_mic_dead_only_silences_nearby_listeners() {
+        let mut scene = Scene::quiet(SR);
+        scene.add(Pos::ORIGIN, Duration::ZERO, tone(1000.0, 400, 70.0), "sw");
+        let near = Pos::new(0.5, 0.0, 0.0);
+        let far = Pos::new(6.0, 0.0, 0.0);
+        scene.set_faults(SceneFaultPlan::new(0).mic_dead_at(
+            near,
+            1.0,
+            Window::between(Duration::from_millis(100), Duration::from_millis(200)),
+        ));
+        let near_cap = scene.render_at(near, Duration::from_millis(400));
+        let dead = near_cap.window(win(110, 80));
+        assert!(
+            dead.samples().iter().all(|&s| s == 0.0),
+            "listener inside the zone hears nothing in the window"
+        );
+        let far_cap = scene.render_at(far, Duration::from_millis(400));
+        let same_span = far_cap.window(win(110, 80));
+        assert!(
+            same_span.samples().iter().any(|&s| s != 0.0),
+            "listener outside the zone is unaffected"
+        );
+    }
+
     /// A scene exercising every render feature at once: overlapping
     /// emissions at different distances, a far (delayed) source, an
     /// ambient bed with every component, and all three fault kinds.
@@ -708,7 +794,10 @@ mod tests {
         );
         scene.set_faults(
             SceneFaultPlan::new(5)
-                .speaker_dropout("sw-2", Window::between(Duration::ZERO, Duration::from_secs(2)))
+                .speaker_dropout(
+                    "sw-2",
+                    Window::between(Duration::ZERO, Duration::from_secs(2)),
+                )
                 .noise_burst(win(350, 200), 70.0)
                 .mic_dead(win(600, 100)),
         );
@@ -720,8 +809,14 @@ mod tests {
         let scene = busy_scene();
         let listener = Pos::new(0.9, -0.3, 0.2);
         let full = scene.render_at(listener, Duration::from_millis(1000));
-        for (from, len) in [(0u64, 1000u64), (0, 130), (130, 300), (270, 1), (555, 445), (900, 300)]
-        {
+        for (from, len) in [
+            (0u64, 1000u64),
+            (0, 130),
+            (130, 300),
+            (270, 1),
+            (555, 445),
+            (900, 300),
+        ] {
             let w = win(from, len);
             let windowed = scene.render_window(listener, w);
             let (a, b) = w.sample_range(SR);
@@ -777,11 +872,7 @@ mod tests {
             let mut par = scene.clone();
             par.set_render_threads(threads);
             let rendered = par.render_at(listener, dur);
-            assert_eq!(
-                rendered.samples(),
-                baseline.samples(),
-                "threads={threads}"
-            );
+            assert_eq!(rendered.samples(), baseline.samples(), "threads={threads}");
         }
     }
 
@@ -828,7 +919,12 @@ mod tests {
     fn incident_peak_bounds_the_render() {
         let mut scene = Scene::quiet(SR);
         scene.add(Pos::ORIGIN, Duration::ZERO, tone(1000.0, 300, 60.0), "a");
-        scene.add(Pos::new(3.0, 0.0, 0.0), Duration::ZERO, tone(1100.0, 300, 60.0), "b");
+        scene.add(
+            Pos::new(3.0, 0.0, 0.0),
+            Duration::ZERO,
+            tone(1100.0, 300, 60.0),
+            "b",
+        );
         let listener = Pos::new(1.0, 0.5, 0.0);
         let bound = scene.incident_peak_at(listener);
         let out = scene.render_at(listener, Duration::from_millis(300));

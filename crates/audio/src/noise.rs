@@ -62,7 +62,13 @@ fn white_scale(rms: f64) -> f64 {
 /// under `seed`, with RMS ≈ `rms`. Samples `[0, duration)` of the stream;
 /// see [`white_noise_at`] to start mid-stream.
 pub fn white_noise(duration: Duration, rms: f64, sample_rate: u32, seed: u64) -> Signal {
-    white_noise_at(0, duration_to_samples(duration, sample_rate), rms, sample_rate, seed)
+    white_noise_at(
+        0,
+        duration_to_samples(duration, sample_rate),
+        rms,
+        sample_rate,
+        seed,
+    )
 }
 
 /// Samples `[from, from + n)` of the seeded white-noise stream — the same
@@ -123,7 +129,13 @@ fn pink_sample(salts: &[u64; PINK_ROWS], index: u64) -> f64 {
 /// [`PINK_ROWS`] octave rows, calibrated analytically to RMS ≈ `rms`.
 /// Samples `[0, duration)` of the stream; see [`pink_noise_at`].
 pub fn pink_noise(duration: Duration, rms: f64, sample_rate: u32, seed: u64) -> Signal {
-    pink_noise_at(0, duration_to_samples(duration, sample_rate), rms, sample_rate, seed)
+    pink_noise_at(
+        0,
+        duration_to_samples(duration, sample_rate),
+        rms,
+        sample_rate,
+        seed,
+    )
 }
 
 /// Samples `[from, from + n)` of the seeded pink-noise stream.
@@ -146,6 +158,56 @@ pub fn pink_noise_add(out: &mut [f32], from: u64, rms: f64, seed: u64) {
     }
 }
 
+/// `sin(x)/x`, continuous at zero.
+#[inline]
+fn sinc(x: f64) -> f64 {
+    if x.abs() < 1e-12 {
+        1.0
+    } else {
+        x.sin() / x
+    }
+}
+
+/// One-sided power spectral density (power per Hz) of the white stream at
+/// RMS `rms`: flat across `[0, sample_rate/2]`.
+pub fn white_noise_psd(rms: f64, sample_rate: u32) -> f64 {
+    rms * rms / (sample_rate as f64 / 2.0)
+}
+
+/// One-sided power spectral density of the pink stream at RMS `rms`,
+/// evaluated at `freq_hz`. Exact for the generator actually shipped: each
+/// Voss–McCartney row is a zero-order hold over `2^r` samples, so its
+/// spectrum is the hold's `sinc²`, and independent rows add in power. The
+/// densities integrate back to `rms²` over the Nyquist band.
+pub fn pink_noise_psd(rms: f64, freq_hz: f64, sample_rate: u32) -> f64 {
+    let sr = sample_rate as f64;
+    let row_var = rms * rms / PINK_ROWS as f64; // scale² · (1/3) per row
+    let mut psd = 0.0;
+    for r in 0..PINK_ROWS {
+        let hold = (1u64 << r) as f64;
+        let s = sinc(std::f64::consts::PI * freq_hz * hold / sr);
+        psd += 2.0 * row_var * (hold / sr) * s * s;
+    }
+    psd
+}
+
+/// One-sided power spectral density of the band-noise stream at RMS
+/// `rms` over `[lo_hz, hi_hz]`, evaluated at `freq_hz` — the white
+/// input's flat density shaped by the cascaded band section's actual
+/// `|H|⁴` response, normalized by the same analytic gain the generator
+/// calibrates with. Integrates back to `rms²` over the Nyquist band.
+pub fn band_noise_psd(rms: f64, lo_hz: f64, hi_hz: f64, freq_hz: f64, sample_rate: u32) -> f64 {
+    assert!(hi_hz > lo_hz && lo_hz > 0.0, "bad band {lo_hz}..{hi_hz}");
+    let a_hi = one_pole_alpha(hi_hz, sample_rate);
+    let a_lo = one_pole_alpha(lo_hz, sample_rate);
+    let g = band_gain_rms(a_hi, a_lo); // √(mean |H_hi − H_lo|⁴)
+    let w = std::f64::consts::TAU * freq_hz / sample_rate as f64;
+    let (hr, hi) = one_pole_response(a_hi, w);
+    let (lr, li) = one_pole_response(a_lo, w);
+    let mag_sq = (hr - lr) * (hr - lr) + (hi - li) * (hi - li);
+    rms * rms * (mag_sq * mag_sq) / (g * g) / (sample_rate as f64 / 2.0)
+}
+
 /// Band-noise block grid: the IIR filter state is re-derived per absolute
 /// block of this many samples, so any block can be generated alone.
 const BAND_BLOCK: u64 = 1 << 14;
@@ -157,6 +219,17 @@ const BAND_BLOCK: u64 = 1 << 14;
 /// which is what makes the stream seekable *and* byte-stable across
 /// arbitrary windows.
 const BAND_WARMUP: u64 = 1 << 12;
+
+/// Frequency response of the one-pole lowpass with coefficient `a` at
+/// normalized angular frequency `w`:
+/// `H(e^{jw}) = a / ((1 − (1−a)cos w) + j(1−a)sin w)`.
+#[inline]
+fn one_pole_response(a: f64, w: f64) -> (f64, f64) {
+    let re_d = 1.0 - (1.0 - a) * w.cos();
+    let im_d = (1.0 - a) * w.sin();
+    let den = re_d * re_d + im_d * im_d;
+    (a * re_d / den, -a * im_d / den)
+}
 
 /// One-pole lowpass coefficient for cutoff `fc`.
 #[inline]
@@ -175,18 +248,11 @@ fn one_pole_alpha(fc: f64, sample_rate: u32) -> f64 {
 /// pass (which would have made the stream un-seekable).
 fn band_gain_rms(a_hi: f64, a_lo: f64) -> f64 {
     const M: usize = 4096;
-    let response_sq = |a: f64, w: f64| -> (f64, f64) {
-        // H(e^{jw}) = a / ((1 − (1−a)cos w) + j(1−a)sin w)
-        let re_d = 1.0 - (1.0 - a) * w.cos();
-        let im_d = (1.0 - a) * w.sin();
-        let den = re_d * re_d + im_d * im_d;
-        (a * re_d / den, -a * im_d / den)
-    };
     let mut acc = 0.0;
     for m in 0..M {
         let w = std::f64::consts::PI * (m as f64 + 0.5) / M as f64;
-        let (hr, hi) = response_sq(a_hi, w);
-        let (lr, li) = response_sq(a_lo, w);
+        let (hr, hi) = one_pole_response(a_hi, w);
+        let (lr, li) = one_pole_response(a_lo, w);
         let (dr, di) = (hr - lr, hi - li);
         let mag_sq = dr * dr + di * di;
         acc += mag_sq * mag_sq; // |H_hi − H_lo|⁴ = |cascade|²
@@ -196,14 +262,7 @@ fn band_gain_rms(a_hi: f64, a_lo: f64) -> f64 {
 
 /// Run the band filter over absolute indices, adding scaled output for
 /// indices within `[from, from + out.len())` into `out`.
-fn band_noise_run(
-    out: &mut [f32],
-    from: u64,
-    a_hi: f64,
-    a_lo: f64,
-    scale: f64,
-    seed_hash: u64,
-) {
+fn band_noise_run(out: &mut [f32], from: u64, a_hi: f64, a_lo: f64, scale: f64, seed_hash: u64) {
     if out.is_empty() {
         return;
     }
@@ -271,7 +330,15 @@ pub fn band_noise_at(
     seed: u64,
 ) -> Signal {
     let mut out = Signal::from_samples(vec![0.0; n], sample_rate);
-    band_noise_add(out.samples_mut(), from, lo_hz, hi_hz, rms, sample_rate, seed);
+    band_noise_add(
+        out.samples_mut(),
+        from,
+        lo_hz,
+        hi_hz,
+        rms,
+        sample_rate,
+        seed,
+    );
     out
 }
 
@@ -497,6 +564,50 @@ mod tests {
     #[should_panic(expected = "bad band")]
     fn band_noise_rejects_inverted_band() {
         band_noise(Duration::from_millis(10), 2000.0, 1000.0, 0.1, SR, 1);
+    }
+
+    /// Midpoint-integrate a PSD over `[0, sr/2]` in 1 Hz steps.
+    fn integrate_psd(psd: impl Fn(f64) -> f64) -> f64 {
+        (0..SR / 2).map(|f| psd(f as f64 + 0.5)).sum()
+    }
+
+    #[test]
+    fn psds_integrate_to_total_power() {
+        let total = integrate_psd(|f| white_noise_psd(0.1, SR).max(f * 0.0));
+        assert!((total - 0.01).abs() < 1e-4, "white {total}");
+        let total = integrate_psd(|f| pink_noise_psd(0.1, f, SR));
+        assert!((total - 0.01).abs() < 1e-3, "pink {total}");
+        let total = integrate_psd(|f| band_noise_psd(0.1, 800.0, 1600.0, f, SR));
+        assert!((total - 0.01).abs() < 1e-3, "band {total}");
+    }
+
+    #[test]
+    fn pink_psd_matches_measured_band_ratio() {
+        // Absolute `band_power` carries the spectrum's amplitude-vs-power
+        // normalization convention; the ratio between two bands cancels it.
+        let s = pink_noise(Duration::from_secs(4), 0.1, SR, 11);
+        let spec = Spectrum::of(&s);
+        let band = |lo: u32, hi: u32| -> f64 {
+            (lo..hi)
+                .map(|f| pink_noise_psd(0.1, f as f64 + 0.5, SR))
+                .sum()
+        };
+        let modeled = band(100, 400) / band(1000, 4000);
+        let measured = spec.band_power(100.0, 400.0) / spec.band_power(1000.0, 4000.0);
+        assert!(
+            measured > 0.5 * modeled && measured < 2.0 * modeled,
+            "measured ratio {measured:.3} vs modeled {modeled:.3}"
+        );
+    }
+
+    #[test]
+    fn band_psd_concentrates_power_in_band() {
+        let in_band = band_noise_psd(0.1, 800.0, 1600.0, 1200.0, SR);
+        let out_band = band_noise_psd(0.1, 800.0, 1600.0, 8000.0, SR);
+        assert!(in_band > 20.0 * out_band, "in {in_band} out {out_band}");
+        // In-band density must exceed the power-spread-uniformly estimate:
+        // the response is peaked, not flat.
+        assert!(in_band > 0.01 / 20_000.0);
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Self-healing soak: chaos recovery time and availability, quantified.
+//!
+//! Each scenario runs the closed self-healing loop (streaming ambient
+//! re-tuning + acoustic health ledger + live re-planning) over a
+//! four-cell deployment for 20 ticks while the ambient bed drifts
+//! louder, then kills one cell's microphone for good and drops one
+//! far-cell speaker for a bounded window. Every scenario must heal: the
+//! starved cell is evacuated onto a neighbour's spare slots (patched
+//! plan re-proven with `verify_reuse` before the hot swap), the dropped
+//! speaker recovers in place, and every switch decodes again by the end
+//! of the run. The sweep rotates the dead cell and the seed, and reports
+//! recovery time (MTTR) and availability per scenario. Writes
+//! `BENCH_selfheal.json` at the workspace root.
+//!
+//! `cargo bench -p mdn-bench --bench selfheal -- --test` runs one
+//! scenario (healing still asserted) and skips the JSON (CI uses this).
+
+use mdn_acoustics::ambient::AmbientProfile;
+use mdn_acoustics::faults::{SceneFaultPlan, Window};
+use mdn_acoustics::scene::Scene;
+use mdn_core::cells::{CellConfig, CellPlan};
+use mdn_core::selfheal::SelfHealingController;
+use std::time::Duration;
+
+const SR: u32 = 44_100;
+const TICK: Duration = Duration::from_millis(300);
+const TICKS: u64 = 20;
+const FAULT_AT: Duration = Duration::from_millis(1200);
+const SPEAKER_BACK: Duration = Duration::from_millis(2400);
+const CELLS: usize = 4;
+
+struct Scenario {
+    seed: u64,
+    dead_cell: usize,
+}
+
+#[derive(serde::Serialize)]
+struct Row {
+    seed: u64,
+    dead_cell: usize,
+    dropped_speaker: String,
+    /// Fault injection → plan hot-swap, milliseconds.
+    time_to_replan_ms: f64,
+    /// Worst migrated-switch outage (acoustic death → first decode on the
+    /// migrated slot), milliseconds.
+    migrant_mttr_ms: f64,
+    /// The dropped speaker's outage, milliseconds.
+    speaker_mttr_ms: f64,
+    /// Heard device-ticks / expected device-ticks over the run.
+    availability: f64,
+    replans: u64,
+    mttr_samples: u64,
+}
+
+fn run_scenario(sc: &Scenario, smoke: bool) -> Row {
+    let registry = mdn_obs::Registry::new();
+    let plan = CellPlan::plan(
+        CELLS,
+        &[AmbientProfile::quiet()],
+        CellConfig {
+            switches_per_cell: 2,
+            slots_per_switch: 3,
+            ..CellConfig::default()
+        },
+    )
+    .expect("bench cell plan");
+    let dead_mic = plan.cells()[sc.dead_cell].mic_pos;
+    let dropped_speaker = format!("c{}-s0", (sc.dead_cell + 1) % CELLS);
+    let total = TICK * TICKS as u32;
+    let faults = SceneFaultPlan::new(sc.seed)
+        .mic_dead_at(dead_mic, 1.0, Window::between(FAULT_AT, total))
+        .speaker_dropout(&dropped_speaker, Window::between(FAULT_AT, SPEAKER_BACK));
+
+    let mut loop_ = SelfHealingController::new(plan);
+    loop_.attach_obs(&registry);
+
+    let mut replanned_at = None;
+    let (mut expected_ticks, mut heard_ticks) = (0u64, 0u64);
+    let mut final_heard = Vec::new();
+    for t in 0..TICKS {
+        let start = TICK * t as u32;
+        let mut profile = AmbientProfile::quiet();
+        profile.level_spl += 12.0 * t as f64 / TICKS as f64;
+        let mut scene = Scene::new(SR, profile);
+        scene.set_ambient_seed(sc.seed ^ t);
+        scene.set_faults(faults.clone());
+
+        let mut expected = Vec::new();
+        for cell_devs in &mut loop_.plan().sounding_devices() {
+            for dev in cell_devs {
+                expected.push(dev.name.clone());
+                dev.emit_slot(
+                    &mut scene,
+                    0,
+                    start + Duration::from_millis(50),
+                    Duration::from_millis(150),
+                )
+                .expect("emit");
+            }
+        }
+        expected_ticks += expected.len() as u64;
+
+        let r = loop_.tick(&scene, Window::new(start, TICK), &expected);
+        heard_ticks += r.heard.len() as u64;
+        if let Some(cell) = r.replanned {
+            assert_eq!(cell, sc.dead_cell, "evacuated the wrong cell");
+            replanned_at = Some(start + TICK);
+        }
+        if t == TICKS - 1 {
+            final_heard = r.heard.clone();
+        }
+    }
+
+    // The run must have healed: one evacuation, every switch decoding
+    // again in the final tick, MTTR recorded for every affected device.
+    let replanned_at = replanned_at.expect("mic-dead cell never evacuated");
+    assert_eq!(
+        final_heard.len(),
+        CELLS * 2,
+        "not every switch decodes after healing"
+    );
+    let migrant_mttr = (0..2)
+        .map(|j| {
+            loop_
+                .health()
+                .recovery_time(&format!("c{}-s{j}", sc.dead_cell))
+                .expect("migrant has no MTTR sample")
+        })
+        .max()
+        .unwrap();
+    let speaker_mttr = loop_
+        .health()
+        .recovery_time(&dropped_speaker)
+        .expect("dropped speaker has no MTTR sample");
+
+    let snap = registry.snapshot();
+    let row = Row {
+        seed: sc.seed,
+        dead_cell: sc.dead_cell,
+        dropped_speaker,
+        time_to_replan_ms: (replanned_at - FAULT_AT).as_secs_f64() * 1e3,
+        migrant_mttr_ms: migrant_mttr.as_secs_f64() * 1e3,
+        speaker_mttr_ms: speaker_mttr.as_secs_f64() * 1e3,
+        availability: heard_ticks as f64 / expected_ticks as f64,
+        replans: snap.counters["mdn_selfheal_replans_total"],
+        mttr_samples: snap
+            .histograms
+            .get("mdn_health_recovery_ns")
+            .map_or(0, |h| h.count),
+    };
+    assert_eq!(row.replans, 1);
+    assert!(
+        row.availability > 0.85,
+        "availability {} too low",
+        row.availability
+    );
+    if smoke {
+        eprintln!(
+            "selfheal smoke: cell {} evacuated {}ms after the fault, availability {:.3}",
+            sc.dead_cell, row.time_to_replan_ms, row.availability
+        );
+    }
+    row
+}
+
+fn sweep_and_report(smoke: bool) {
+    let scenarios: Vec<Scenario> = if smoke {
+        vec![Scenario {
+            seed: 2018,
+            dead_cell: 1,
+        }]
+    } else {
+        (0..CELLS)
+            .map(|dead_cell| Scenario {
+                seed: 2018 + dead_cell as u64,
+                dead_cell,
+            })
+            .collect()
+    };
+    let rows: Vec<Row> = scenarios.iter().map(|sc| run_scenario(sc, smoke)).collect();
+    if smoke {
+        return;
+    }
+    let max_ms = |f: fn(&Row) -> f64| rows.iter().map(f).fold(0.0, f64::max);
+    let summary = serde_json::json!({
+        "bench": "selfheal",
+        "unit": "milliseconds of scenario time (tick-quantized)",
+        "sample_rate": SR,
+        "tick_ms": TICK.as_millis() as u64,
+        "ticks": TICKS,
+        "cells": CELLS,
+        "scenarios": rows.len(),
+        "time_to_replan_ms_max": max_ms(|r| r.time_to_replan_ms),
+        "recovery_ms_max": max_ms(|r| r.migrant_mttr_ms.max(r.speaker_mttr_ms)),
+        "availability_min": rows.iter().map(|r| r.availability).fold(1.0, f64::min),
+        "rows": rows,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_selfheal.json");
+    std::fs::write(path, serde_json::to_string_pretty(&summary).unwrap() + "\n")
+        .expect("write BENCH_selfheal.json");
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    sweep_and_report(smoke);
+}

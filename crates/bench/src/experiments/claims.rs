@@ -169,7 +169,11 @@ pub fn duration_sweep(trials: usize) -> DurationSweepResult {
                 )
                 .expect("in-band request");
             scene.add(Pos::ORIGIN, Duration::from_millis(100), sig, "dev");
-            let cap = scene.capture(&Microphone::measurement(), Pos::new(0.5, 0.0, 0.0), Window::from_start(Duration::from_millis(300)));
+            let cap = scene.capture(
+                &Microphone::measurement(),
+                Pos::new(0.5, 0.0, 0.0),
+                Window::from_start(Duration::from_millis(300)),
+            );
             if !det.detect(&cap).is_empty() {
                 pipeline_hits += 1;
             }
@@ -184,7 +188,11 @@ pub fn duration_sweep(trials: usize) -> DurationSweepResult {
                 tone.render(SAMPLE_RATE),
                 "dev",
             );
-            let cap = scene.capture(&Microphone::measurement(), Pos::new(0.5, 0.0, 0.0), Window::from_start(Duration::from_millis(300)));
+            let cap = scene.capture(
+                &Microphone::measurement(),
+                Pos::new(0.5, 0.0, 0.0),
+                Window::from_start(Duration::from_millis(300)),
+            );
             let mut det = ToneDetector::with_config(
                 vec![freq],
                 DetectorConfig {
@@ -194,7 +202,11 @@ pub fn duration_sweep(trials: usize) -> DurationSweepResult {
             );
             let mut noise_scene = Scene::new(SAMPLE_RATE, ambient.clone());
             noise_scene.set_ambient_seed(900 + t as u64);
-            let noise = noise_scene.capture(&Microphone::measurement(), Pos::new(0.5, 0.0, 0.0), Window::from_start(Duration::from_millis(300)));
+            let noise = noise_scene.capture(
+                &Microphone::measurement(),
+                Pos::new(0.5, 0.0, 0.0),
+                Window::from_start(Duration::from_millis(300)),
+            );
             det.calibrate(&noise);
             if !det.detect(&cap).is_empty() {
                 raw_hits += 1;
@@ -243,6 +255,7 @@ pub fn capacity_sweep(counts: &[usize]) -> SweepResult {
                 frame_rel_floor: 0.0, // all tones are deliberately equal
                 local_max_radius_hz: 0.0,
                 min_snr: 1.0,
+                ..DetectorConfig::default()
             },
         );
         let active = det.active_candidates(&sig);
@@ -277,7 +290,11 @@ pub fn intensity_sweep(trials: usize) -> SweepResult {
                 tone.render(SAMPLE_RATE),
                 "dev",
             );
-            let cap = scene.capture(&Microphone::measurement(), Pos::new(0.3, 0.0, 0.0), Window::from_start(Duration::from_millis(400)));
+            let cap = scene.capture(
+                &Microphone::measurement(),
+                Pos::new(0.3, 0.0, 0.0),
+                Window::from_start(Duration::from_millis(400)),
+            );
             // Calibrated detector: floor learned from the ambient alone.
             let mut det = ToneDetector::with_config(
                 vec![freq],
@@ -288,7 +305,11 @@ pub fn intensity_sweep(trials: usize) -> SweepResult {
             );
             let mut noise_scene = Scene::new(SAMPLE_RATE, ambient.clone());
             noise_scene.set_ambient_seed(5000 + t as u64);
-            let noise_cap = noise_scene.capture(&Microphone::measurement(), Pos::new(0.3, 0.0, 0.0), Window::from_start(Duration::from_millis(400)));
+            let noise_cap = noise_scene.capture(
+                &Microphone::measurement(),
+                Pos::new(0.3, 0.0, 0.0),
+                Window::from_start(Duration::from_millis(400)),
+            );
             det.calibrate(&noise_cap);
             if !det.detect(&cap).is_empty() {
                 hits += 1;

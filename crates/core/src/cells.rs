@@ -36,23 +36,36 @@ use crate::detector::DetectorConfig;
 use crate::encoder::SoundingDevice;
 use crate::freqplan::{FrequencyPlan, FrequencySet};
 use mdn_acoustics::ambient::AmbientProfile;
-use mdn_acoustics::medium::incident_amplitude;
-use mdn_acoustics::medium::Pos;
+use mdn_acoustics::medium::{incident_amplitude, spreading_gain, Pos};
 use mdn_acoustics::mic::Microphone;
 use mdn_acoustics::scene::Scene;
-use mdn_audio::signal::{spl_to_amplitude, Window};
+use mdn_acoustics::speaker::Speaker;
+use mdn_audio::signal::{amplitude_to_spl, spl_to_amplitude, Window};
 use mdn_obs::{Counter, Registry};
 use std::fmt;
 use std::time::Duration;
 
-/// Nominal analysis bandwidth the ambient-floor estimate spreads noise
-/// power across. Broadband ambient at RMS amplitude `A` leaks roughly
-/// `A·√(slot spacing / bandwidth)` into one detector bin.
-const AMBIENT_BANDWIDTH_HZ: f64 = 20_000.0;
-
 /// Multiplier applied to the per-bin ambient leakage when deriving a
 /// cell's magnitude threshold — mirrors the detector's default SNR gate.
 const AMBIENT_SNR: f64 = 3.0;
+
+/// Sample rate the ambient leakage model is evaluated at when planning.
+/// Thresholds are derived before any audio exists; the generators'
+/// spectra vary only weakly with the rate, so the nominal testbed rate is
+/// representative for any deployment rate.
+const PLAN_SAMPLE_RATE: u32 = 44_100;
+
+/// Hard ceiling on the boosted source level a migrated switch may be
+/// driven at — roughly what a commodity speaker sustains without
+/// clipping. A migration that would need more is infeasible.
+const MAX_MIGRATED_LEVEL_DB: f64 = 85.0;
+
+/// Extra linear headroom (6 dB) on a migrated switch's boost, covering
+/// what the geometric model leaves out: the microphone's band-limiting
+/// rolloff near the sub-band top (where spare slots live) and analysis
+/// windowing losses. The interference side stays conservative — foreign
+/// budgets assume the *unattenuated* incident amplitude.
+const MIGRATION_RESPONSE_MARGIN: f64 = 2.0;
 
 /// Geometry and detection parameters for planning a cell grid.
 ///
@@ -127,6 +140,14 @@ pub enum CellPlanError {
         /// The budget it had to stay under (`threshold / margin`).
         budget: f64,
     },
+    /// [`CellPlan::replan_without_cell`] found no host able to absorb a
+    /// dead cell's switches.
+    MigrationInfeasible {
+        /// The cell being evacuated.
+        dead: usize,
+        /// Why the best candidate host failed.
+        detail: String,
+    },
     /// `verify_reuse` caught the real detector attributing a foreign
     /// reused tone to a local switch.
     DetectorLeak {
@@ -162,6 +183,9 @@ impl fmt::Display for CellPlanError {
                 "reuse unsafe at cell {cell}: worst-case foreign amplitude {interference:.2e} \
                  exceeds budget {budget:.2e}"
             ),
+            CellPlanError::MigrationInfeasible { dead, detail } => {
+                write!(f, "cannot evacuate dead cell {dead}: {detail}")
+            }
             CellPlanError::DetectorLeak {
                 cell,
                 device,
@@ -204,9 +228,21 @@ pub struct Cell {
     /// `worst_interference` — the slot `verify_reuse` attacks.
     pub worst_switch: usize,
     /// Per-switch frequency sets; same-color cells hold identical `freqs`.
+    /// A host cell that absorbed a dead neighbour's switches carries extra
+    /// sets past `switches_per_cell`, drawn from its sub-band's spare
+    /// slots.
     pub sets: Vec<FrequencySet>,
     /// Globally unique device names, parallel to `sets` (`c<id>-s<j>`).
+    /// Migrated switches keep their original names, so event attribution
+    /// survives re-planning.
     pub device_names: Vec<String>,
+    /// Per-switch source levels (dB SPL at 1 m), parallel to `sets`.
+    /// Migrated switches play boosted so the farther host mic still
+    /// decodes them.
+    pub levels: Vec<f64>,
+    /// False once the cell's mic is declared dead and its switches have
+    /// been migrated away ([`CellPlan::replan_without_cell`]).
+    pub alive: bool,
 }
 
 /// A planned multi-cell deployment: geometry, coloring, and per-cell
@@ -228,9 +264,23 @@ pub struct CellPlan {
     source_amplitude: f64,
 }
 
-/// Per-bin amplitude the ambient bed leaks into one detector slot.
-fn ambient_slot_floor(ambient: &AmbientProfile, spacing_hz: f64) -> f64 {
-    spl_to_amplitude(ambient.level_spl) * (spacing_hz / AMBIENT_BANDWIDTH_HZ).sqrt()
+/// Detection threshold cell `c` needs under color count `k`: the
+/// configured floor, raised above the worst per-bin leakage the cell's
+/// ambient bed produces anywhere in the sub-band the cell would actually
+/// be assigned (`color = c mod k`). Spectrally honest — a datacenter bed
+/// concentrates rumble, pink tilt, and hum at low frequencies, so cells
+/// holding low sub-bands need a far higher floor than a flat spread of
+/// the bed's power would suggest.
+fn cell_threshold(
+    base: &FrequencyPlan,
+    ambient: &AmbientProfile,
+    floor: f64,
+    c: usize,
+    k: usize,
+) -> f64 {
+    let sub = base.subband(c % k, k);
+    let (lo, hi) = (sub.slot_freq(0), sub.slot_freq(sub.capacity() - 1));
+    floor.max(AMBIENT_SNR * ambient.peak_bin_leakage(lo, hi, base.spacing_hz(), PLAN_SAMPLE_RATE))
 }
 
 impl CellPlan {
@@ -261,13 +311,17 @@ impl CellPlan {
 
         let source_amplitude = spl_to_amplitude(cfg.source_level_db);
         let mic_pos: Vec<Pos> = (0..num_cells).map(|c| Self::mic_pos(c, &cfg)).collect();
-        let thresholds: Vec<f64> = (0..num_cells)
-            .map(|c| {
-                let ambient = &ambients[c % ambients.len()];
-                cfg.detector_floor
-                    .max(AMBIENT_SNR * ambient_slot_floor(ambient, base.spacing_hz()))
-            })
-            .collect();
+        // Thresholds depend on the sub-band a cell would hold, hence on
+        // the color count under consideration.
+        let threshold_for = |c: usize, k: usize| -> f64 {
+            cell_threshold(
+                &base,
+                &ambients[c % ambients.len()],
+                cfg.detector_floor,
+                c,
+                k,
+            )
+        };
 
         // Worst-case interference at cell `c` for color count `k`: over
         // reused frequencies — i.e. over switch indices `j`, since slot
@@ -293,9 +347,9 @@ impl CellPlan {
         };
 
         let legal = |k: usize| -> Result<(), CellPlanError> {
-            for (c, threshold) in thresholds.iter().enumerate() {
+            for c in 0..num_cells {
                 let (w, _) = interference(c, k);
-                let budget = threshold / cfg.safety_margin;
+                let budget = threshold_for(c, k) / cfg.safety_margin;
                 if w > budget {
                     return Err(CellPlanError::ReuseUnsafe {
                         cell: c,
@@ -352,13 +406,13 @@ impl CellPlan {
                 let mut device_names = Vec::with_capacity(cfg.switches_per_cell);
                 for j in 0..cfg.switches_per_cell {
                     let name = format!("c{c}-s{j}");
-                    let set = sub
-                        .allocate(&name, cfg.slots_per_switch)
-                        .map_err(|_| CellPlanError::Capacity {
+                    let set = sub.allocate(&name, cfg.slots_per_switch).map_err(|_| {
+                        CellPlanError::Capacity {
                             colors,
                             needed: colors * per_cell,
                             capacity: base.capacity(),
-                        })?;
+                        }
+                    })?;
                     sets.push(set);
                     device_names.push(name);
                 }
@@ -371,11 +425,13 @@ impl CellPlan {
                         .collect(),
                     mic_pos: mic_pos[c],
                     ambient: ambients[c % ambients.len()].clone(),
-                    threshold: thresholds[c],
+                    threshold: threshold_for(c, colors),
                     worst_interference,
                     worst_switch,
                     sets,
                     device_names,
+                    levels: vec![cfg.source_level_db; cfg.switches_per_cell],
+                    alive: true,
                 })
             })
             .collect::<Result<Vec<_>, CellPlanError>>()?;
@@ -488,10 +544,10 @@ impl CellPlan {
                 cell.sets
                     .iter()
                     .zip(&cell.device_names)
-                    .zip(&cell.switch_pos)
-                    .map(|((set, name), &pos)| {
+                    .zip(cell.switch_pos.iter().zip(&cell.levels))
+                    .map(|((set, name), (&pos, &level))| {
                         let mut dev = SoundingDevice::new(name, set.clone(), pos);
-                        dev.level_db = self.cfg.source_level_db;
+                        dev.level_db = level;
                         dev
                     })
                     .collect()
@@ -499,11 +555,44 @@ impl CellPlan {
             .collect()
     }
 
+    /// Which cell binds the device `name`, with its per-cell switch
+    /// index — after a migration this is the host cell, not the cell the
+    /// name was minted in.
+    pub fn find_device(&self, name: &str) -> Option<(usize, usize)> {
+        self.cells.iter().find_map(|cell| {
+            cell.device_names
+                .iter()
+                .position(|n| n == name)
+                .map(|j| (cell.id, j))
+        })
+    }
+
+    /// Cells whose mic is still serviceable.
+    pub fn alive_cells(&self) -> impl Iterator<Item = &Cell> {
+        self.cells.iter().filter(|c| c.alive)
+    }
+
     /// The detector configuration cell `c`'s controller runs: defaults
     /// with the magnitude floor raised to the cell's threshold.
+    ///
+    /// A cell hosting migrated switches drops the per-frame relative gate
+    /// ([`DetectorConfig::frame_rel_floor`]): that gate assumes
+    /// simultaneous tones have comparable levels, but a host deliberately
+    /// listens to two loudness classes at once — its own switches ~1 m
+    /// away and migrants a cell pitch away — and the gate would mask the
+    /// faint class behind the loud one. Ghost suppression still comes
+    /// from the local-max radius and the per-candidate magnitude/SNR
+    /// floors, and [`CellPlan::verify_reuse`] re-proves the relaxed
+    /// detector attributes no foreign tone.
     pub fn detector_config(&self, c: usize) -> DetectorConfig {
+        let hosts_migrants = self.cells[c].sets.len() > self.cfg.switches_per_cell;
         DetectorConfig {
             min_magnitude: self.cells[c].threshold,
+            frame_rel_floor: if hosts_migrants {
+                0.0
+            } else {
+                DetectorConfig::default().frame_rel_floor
+            },
             ..DetectorConfig::default()
         }
     }
@@ -520,6 +609,174 @@ impl CellPlan {
         ctl
     }
 
+    /// Evacuate a cell whose mic died: migrate every one of its switches
+    /// onto a neighbouring alive cell's **spare** sub-band slots, so the
+    /// host's mic hears them on frequencies no other cell binds.
+    ///
+    /// Host candidates are tried nearest-mic-first. A host is feasible
+    /// when (a) its color's sub-band has enough slots bound by *no* cell
+    /// of that color — chained migrations included — and (b) every
+    /// migrated switch, played at a boosted level capped at 85 dB SPL,
+    /// still clears the host's detection threshold with the plan's safety
+    /// margin from its original rack position. Migrated slots are taken
+    /// from the top of the sub-band (the ambient bed concentrates power
+    /// low), and migrated switches keep their device names so event
+    /// attribution survives the swap.
+    ///
+    /// Legality of the patched plan needs no new interference bound: the
+    /// migrated frequencies are spare in every same-color cell, so only
+    /// the host's detector binds them. [`CellPlan::verify_reuse`] replays
+    /// the patched worst case — boosted migrants included — through the
+    /// real pipeline as the final proof.
+    pub fn replan_without_cell(&self, dead: usize) -> Result<CellPlan, CellPlanError> {
+        if dead >= self.cells.len() {
+            return Err(CellPlanError::BadConfig(format!(
+                "cell {dead} out of range ({} cells)",
+                self.cells.len()
+            )));
+        }
+        if !self.cells[dead].alive {
+            return Err(CellPlanError::BadConfig(format!(
+                "cell {dead} is already dead"
+            )));
+        }
+        let dead_mic = self.cells[dead].mic_pos;
+        let mut hosts: Vec<usize> = self
+            .cells
+            .iter()
+            .filter(|c| c.alive && c.id != dead)
+            .map(|c| c.id)
+            .collect();
+        if hosts.is_empty() {
+            return Err(CellPlanError::MigrationInfeasible {
+                dead,
+                detail: "no alive host cells".into(),
+            });
+        }
+        hosts.sort_by(|&a, &b| {
+            self.cells[a]
+                .mic_pos
+                .distance(&dead_mic)
+                .total_cmp(&self.cells[b].mic_pos.distance(&dead_mic))
+                .then(a.cmp(&b))
+        });
+        let base = FrequencyPlan::audible_default();
+        let mut last = String::new();
+        for host in hosts {
+            match self.try_migrate(dead, host, &base) {
+                Ok(plan) => return Ok(plan),
+                Err(detail) => {
+                    if last.is_empty() {
+                        last = format!("host {host}: {detail}");
+                    }
+                }
+            }
+        }
+        Err(CellPlanError::MigrationInfeasible { dead, detail: last })
+    }
+
+    /// Attempt the migration of `dead`'s switches onto `host`; `Err` is a
+    /// human-readable reason the host cannot absorb them.
+    fn try_migrate(
+        &self,
+        dead: usize,
+        host: usize,
+        base: &FrequencyPlan,
+    ) -> Result<CellPlan, String> {
+        let host_cell = &self.cells[host];
+        let sub = base.subband(host_cell.color, self.colors);
+        // Sub-band slots bound by ANY cell of this color: same-color cells
+        // allocate identically, and earlier migrations may have claimed
+        // spares — both must stay untouched.
+        let mut occupied = vec![false; sub.capacity()];
+        for cell in &self.cells {
+            if cell.color != host_cell.color {
+                continue;
+            }
+            for set in &cell.sets {
+                for &s in &set.slots {
+                    occupied[s] = true;
+                }
+            }
+        }
+        let migrants = &self.cells[dead];
+        let needed: usize = migrants.sets.iter().map(|s| s.len()).sum();
+        // Free slots, top of the sub-band first — but only slots the
+        // migrants' speakers can actually drive: a high color's sub-band
+        // extends past the cheap testbed speaker's response band, and a
+        // slot the speaker refuses is not a usable spare.
+        let (band_lo, band_hi) = Speaker::cheap().band;
+        let mut free: Vec<usize> = (0..sub.capacity())
+            .rev()
+            .filter(|&i| !occupied[i])
+            .filter(|&i| {
+                let f = sub.slot_freq(i);
+                f >= band_lo && f <= band_hi
+            })
+            .collect();
+        if free.len() < needed {
+            return Err(format!(
+                "{} speaker-reachable spare slots in color {}, need {needed}",
+                free.len(),
+                host_cell.color
+            ));
+        }
+
+        // Per-migrant boosted level: enough incident amplitude at the host
+        // mic to clear its threshold with the plan's safety margin, plus
+        // headroom for capture-chain losses the geometry doesn't model.
+        let mut levels = Vec::with_capacity(migrants.sets.len());
+        for &pos in &migrants.switch_pos {
+            let dist = host_cell.mic_pos.distance(&pos);
+            let needed_amp =
+                host_cell.threshold * self.cfg.safety_margin * MIGRATION_RESPONSE_MARGIN;
+            let level =
+                amplitude_to_spl(needed_amp / spreading_gain(dist)).max(self.cfg.source_level_db);
+            if level > MAX_MIGRATED_LEVEL_DB {
+                return Err(format!(
+                    "switch at {dist:.1} m would need {level:.1} dB SPL (cap {MAX_MIGRATED_LEVEL_DB})"
+                ));
+            }
+            levels.push(level);
+        }
+
+        let mut cells = self.cells.clone();
+        let d = &mut cells[dead];
+        d.alive = false;
+        d.worst_interference = 0.0;
+        let moved_sets = std::mem::take(&mut d.sets);
+        let moved_names = std::mem::take(&mut d.device_names);
+        let moved_pos = std::mem::take(&mut d.switch_pos);
+        d.levels.clear();
+
+        let h = &mut cells[host];
+        for (((old, name), pos), level) in moved_sets
+            .into_iter()
+            .zip(moved_names)
+            .zip(moved_pos)
+            .zip(levels)
+        {
+            let mut slots: Vec<usize> = free.drain(..old.len()).collect();
+            slots.sort_unstable();
+            let freqs = slots.iter().map(|&s| sub.slot_freq(s)).collect();
+            h.sets.push(FrequencySet {
+                label: name.clone(),
+                slots,
+                freqs,
+            });
+            h.device_names.push(name);
+            h.switch_pos.push(pos);
+            h.levels.push(level);
+        }
+
+        Ok(CellPlan {
+            cells,
+            colors: self.colors,
+            cfg: self.cfg.clone(),
+            source_amplitude: self.source_amplitude,
+        })
+    }
+
     /// Replay the analytic worst case through the real pipeline: for each
     /// cell, every same-color foreign cell sounds the reused frequency
     /// that lands hardest on this cell's mic — simultaneously, through
@@ -529,11 +786,14 @@ impl CellPlan {
     /// local switch is a leak and fails the plan.
     pub fn verify_reuse(&self, sample_rate: u32) -> Result<(), CellPlanError> {
         for cell in &self.cells {
+            if !cell.alive || cell.sets.is_empty() {
+                continue;
+            }
             let j = cell.worst_switch;
             let mut scene = Scene::new(sample_rate, cell.ambient.clone());
             scene.set_ambient_seed(0xCE11 + cell.id as u64);
             for foreign in &self.cells {
-                if foreign.id == cell.id || foreign.color != cell.color {
+                if foreign.id == cell.id || foreign.color != cell.color || foreign.sets.is_empty() {
                     continue;
                 }
                 let mut dev = SoundingDevice::new(
@@ -541,7 +801,7 @@ impl CellPlan {
                     foreign.sets[j].clone(),
                     foreign.switch_pos[j],
                 );
-                dev.level_db = self.cfg.source_level_db;
+                dev.level_db = foreign.levels[j];
                 dev.emit_slot(
                     &mut scene,
                     0,
@@ -549,6 +809,24 @@ impl CellPlan {
                     Duration::from_millis(200),
                 )
                 .expect("worst-case emission");
+                // Migrated switches (extra sets past the planned row)
+                // play boosted from the evacuated cell's rack — include
+                // them so their leakage into this cell is tested too.
+                for m in self.cfg.switches_per_cell..foreign.sets.len() {
+                    let mut dev = SoundingDevice::new(
+                        &foreign.device_names[m],
+                        foreign.sets[m].clone(),
+                        foreign.switch_pos[m],
+                    );
+                    dev.level_db = foreign.levels[m];
+                    dev.emit_slot(
+                        &mut scene,
+                        0,
+                        Duration::from_millis(100),
+                        Duration::from_millis(200),
+                    )
+                    .expect("migrated worst-case emission");
+                }
             }
             let ctl = self.controller_for(cell.id);
             let events = ctl.listen(&scene, Window::from_start(Duration::from_millis(400)));
@@ -573,6 +851,8 @@ pub struct ShardedController {
     reuse_factor: f64,
     threads: usize,
     obs_cell_events: Vec<Counter>,
+    obs_registry: Option<Registry>,
+    obs_plan_swaps: Counter,
 }
 
 impl ShardedController {
@@ -581,13 +861,44 @@ impl ShardedController {
         let controllers = (0..plan.cells().len())
             .map(|c| plan.controller_for(c))
             .collect::<Vec<_>>();
-        let obs_cell_events = (0..controllers.len()).map(|_| Counter::disabled()).collect();
+        let obs_cell_events = (0..controllers.len())
+            .map(|_| Counter::disabled())
+            .collect();
         Self {
             controllers,
             reuse_factor: plan.reuse_factor(),
             threads: 0,
             obs_cell_events,
+            obs_registry: None,
+            obs_plan_swaps: Counter::disabled(),
         }
+    }
+
+    /// Hot-swap to a patched plan between capture windows: every cell's
+    /// controller is rebuilt from `plan` (a dead cell's controller ends
+    /// up with no bindings and is skipped by [`ShardedController::listen`]).
+    /// Rebuilding resets detector noise floors to their static floor —
+    /// the self-healing loop re-tunes them from its running ambient
+    /// estimate after the swap.
+    ///
+    /// # Panics
+    /// Panics if `plan` has a different cell count.
+    pub fn apply_plan(&mut self, plan: &CellPlan) {
+        assert_eq!(
+            plan.cells().len(),
+            self.controllers.len(),
+            "hot swap must keep the cell count"
+        );
+        self.controllers = (0..plan.cells().len())
+            .map(|c| plan.controller_for(c))
+            .collect();
+        self.reuse_factor = plan.reuse_factor();
+        if let Some(registry) = self.obs_registry.clone() {
+            // Re-attach so rebuilt controllers keep feeding the same
+            // registry the originals did.
+            self.attach_obs(&registry);
+        }
+        self.obs_plan_swaps.inc();
     }
 
     /// Number of cell shards.
@@ -613,9 +924,14 @@ impl ShardedController {
     }
 
     /// Register per-cell event counters
-    /// (`mdn_cell_events_total{cell="…"}`), the reuse-factor and
-    /// cell-count gauges, and every cell controller's own metrics.
+    /// (`mdn_cell_events_total{cell="…"}`), the plan-swap counter
+    /// (`mdn_cells_plan_swaps_total`), the reuse-factor and cell-count
+    /// gauges, and every cell controller's own metrics. The registry is
+    /// remembered so [`ShardedController::apply_plan`] can re-attach
+    /// rebuilt controllers.
     pub fn attach_obs(&mut self, registry: &Registry) {
+        self.obs_registry = Some(registry.clone());
+        self.obs_plan_swaps = registry.counter("mdn_cells_plan_swaps_total", &[]);
         for (c, slot) in self.obs_cell_events.iter_mut().enumerate() {
             *slot = registry.counter("mdn_cell_events_total", &[("cell", &c.to_string())]);
         }
@@ -631,9 +947,13 @@ impl ShardedController {
     }
 
     /// Calibrate every cell's detector against an ambient-only window of
-    /// the scene (one containing no MDN tones).
+    /// the scene (one containing no MDN tones). Cells with no bindings
+    /// (evacuated dead cells) are skipped.
     pub fn calibrate(&mut self, scene: &Scene, w: Window) {
         for ctl in &mut self.controllers {
+            if ctl.bindings().is_empty() {
+                continue;
+            }
             let ambient = ctl.capture(scene, w);
             ctl.calibrate(&ambient);
         }
@@ -658,12 +978,23 @@ impl ShardedController {
         }
         .clamp(1, n.max(1));
 
+        // An evacuated cell's controller has no bindings (and no
+        // detector): nothing to capture or decode.
+        let listen_one = |ctl: &MdnController| -> Vec<MdnEvent> {
+            if ctl.bindings().is_empty() {
+                Vec::new()
+            } else {
+                ctl.listen(scene, w)
+            }
+        };
+
         if workers <= 1 {
             for (ctl, out) in self.controllers.iter().zip(per_cell.iter_mut()) {
-                *out = ctl.listen(scene, w);
+                *out = listen_one(ctl);
             }
         } else {
             let chunk = n.div_ceil(workers);
+            let listen_one = &listen_one;
             std::thread::scope(|s| {
                 for (ctls, outs) in self
                     .controllers
@@ -672,7 +1003,7 @@ impl ShardedController {
                 {
                     s.spawn(move || {
                         for (ctl, out) in ctls.iter().zip(outs.iter_mut()) {
-                            *out = ctl.listen(scene, w);
+                            *out = listen_one(ctl);
                         }
                     });
                 }
@@ -703,8 +1034,7 @@ mod tests {
 
     #[test]
     fn default_plan_reaches_target_scale_and_reuse() {
-        let plan =
-            CellPlan::plan(20, &[AmbientProfile::office()], CellConfig::default()).unwrap();
+        let plan = CellPlan::plan(20, &[AmbientProfile::office()], CellConfig::default()).unwrap();
         assert_eq!(plan.total_switches(), 120);
         assert!(plan.flat_slots() > FrequencyPlan::audible_default().capacity());
         assert!(
@@ -721,9 +1051,8 @@ mod tests {
         let k = plan.colors();
         assert!(k >= 2, "no reuse structure to test");
         let cells = plan.cells();
-        let freqs = |c: usize| -> Vec<f64> {
-            cells[c].sets.iter().flat_map(|s| s.freqs.clone()).collect()
-        };
+        let freqs =
+            |c: usize| -> Vec<f64> { cells[c].sets.iter().flat_map(|s| s.freqs.clone()).collect() };
         assert_eq!(freqs(0), freqs(k), "same color must share tones");
         let a = freqs(0);
         let b = freqs(1);
@@ -828,6 +1157,108 @@ mod tests {
     fn verify_reuse_passes_on_a_small_plan() {
         let plan = CellPlan::plan(6, &[AmbientProfile::quiet()], small_cfg()).unwrap();
         plan.verify_reuse(44_100).unwrap();
+    }
+
+    #[test]
+    fn replan_moves_dead_cells_switches_to_spare_slots() {
+        let plan = CellPlan::plan(6, &[AmbientProfile::quiet()], small_cfg()).unwrap();
+        let patched = plan.replan_without_cell(2).unwrap();
+
+        let dead = &patched.cells()[2];
+        assert!(!dead.alive);
+        assert!(dead.sets.is_empty() && dead.device_names.is_empty());
+
+        // Every evacuated device is rebound somewhere, under its old name.
+        for j in 0..plan.config().switches_per_cell {
+            let name = format!("c2-s{j}");
+            let (host, local) = patched.find_device(&name).expect("device rebound");
+            assert_ne!(host, 2);
+            let hc = &patched.cells()[host];
+            assert!(hc.alive);
+            // Migrated slots live in the host's sub-band but collide with
+            // no same-color cell's allocation.
+            let set = &hc.sets[local];
+            assert_eq!(set.len(), plan.config().slots_per_switch);
+            for other in patched.cells() {
+                if other.color != hc.color || other.id == host {
+                    continue;
+                }
+                for s in &other.sets {
+                    assert!(
+                        set.slots.iter().all(|x| !s.slots.contains(x)),
+                        "migrated slots must be spare everywhere on the color"
+                    );
+                }
+            }
+            // The switch did not physically move, and it plays boosted
+            // (or at least at the planned level).
+            assert_eq!(hc.switch_pos[local], plan.cells()[2].switch_pos[j]);
+            assert!(hc.levels[local] >= plan.config().source_level_db);
+            assert!(hc.levels[local] <= 85.0);
+        }
+
+        // The patched plan still passes the real-pipeline reuse proof.
+        patched.verify_reuse(44_100).unwrap();
+    }
+
+    #[test]
+    fn replan_rejects_an_already_dead_cell() {
+        let plan = CellPlan::plan(4, &[AmbientProfile::quiet()], small_cfg()).unwrap();
+        let patched = plan.replan_without_cell(1).unwrap();
+        assert!(matches!(
+            patched.replan_without_cell(1).unwrap_err(),
+            CellPlanError::BadConfig(_)
+        ));
+    }
+
+    #[test]
+    fn chained_replans_keep_slots_disjoint() {
+        let plan = CellPlan::plan(6, &[AmbientProfile::quiet()], small_cfg()).unwrap();
+        let once = plan.replan_without_cell(1).unwrap();
+        let twice = once.replan_without_cell(4).unwrap();
+        // Same-color cells share their planned slots by design; migrated
+        // (extra) sets must be disjoint from every other allocation on
+        // their color, including other migrations.
+        let k = twice.config().switches_per_cell;
+        for cell in twice.cells() {
+            for set in cell.sets.iter().skip(k) {
+                for other in twice.cells() {
+                    if other.color != cell.color {
+                        continue;
+                    }
+                    for (oi, os) in other.sets.iter().enumerate() {
+                        if other.id == cell.id && os.label == set.label {
+                            continue;
+                        }
+                        assert!(
+                            set.slots.iter().all(|s| !os.slots.contains(s)),
+                            "migrated {} collides with {} (cell {} set {oi})",
+                            set.label,
+                            os.label,
+                            other.id
+                        );
+                    }
+                }
+            }
+        }
+        twice.verify_reuse(44_100).unwrap();
+    }
+
+    #[test]
+    fn apply_plan_hot_swaps_controllers() {
+        let plan = CellPlan::plan(4, &[AmbientProfile::quiet()], small_cfg()).unwrap();
+        let mut sharded = ShardedController::new(&plan);
+        let patched = plan.replan_without_cell(0).unwrap();
+        sharded.apply_plan(&patched);
+        assert!(
+            sharded.controllers()[0].bindings().is_empty(),
+            "dead cell's controller unbinds"
+        );
+        let host = patched.find_device("c0-s0").unwrap().0;
+        assert!(
+            sharded.controllers()[host].bindings().len() > plan.config().switches_per_cell,
+            "host controller binds the migrants"
+        );
     }
 
     #[test]

@@ -182,6 +182,33 @@ impl MdnController {
         det.calibrate(ambient_only);
     }
 
+    /// Read access to the underlying detector (`None` until a device is
+    /// bound).
+    pub fn detector(&self) -> Option<&ToneDetector> {
+        self.detector.as_ref()
+    }
+
+    /// Replace the detector's per-candidate noise floors — the ambient
+    /// estimator's re-tuning hook. Candidate order is binding order, each
+    /// binding's slots in slot order (the same order
+    /// [`ToneDetector::candidates`] reports).
+    ///
+    /// # Panics
+    /// Panics if no devices are bound, or the length does not match.
+    pub fn set_noise_floor(&mut self, floors: &[f64]) {
+        self.detector
+            .as_mut()
+            .expect("bind devices before setting floors")
+            .set_noise_floor(floors);
+    }
+
+    /// The full per-frame magnitude matrix of a capture — decoding
+    /// without the thresholds, for ambient tracking. `None` until a
+    /// device is bound.
+    pub fn analyze(&self, capture: &Signal) -> Option<crate::detector::FrameMagnitudes> {
+        self.detector.as_ref().map(|det| det.analyze(capture))
+    }
+
     /// Decode a captured signal into device events. Times are relative to
     /// the start of the capture.
     pub fn decode(&self, capture: &Signal) -> Vec<MdnEvent> {
@@ -289,16 +316,15 @@ pub fn merge_event_streams(streams: Vec<Vec<MdnEvent>>) -> Vec<ShardEvent> {
     let mut merged: Vec<ShardEvent> = streams
         .into_iter()
         .enumerate()
-        .flat_map(|(shard, events)| events.into_iter().map(move |event| ShardEvent { shard, event }))
+        .flat_map(|(shard, events)| {
+            events
+                .into_iter()
+                .map(move |event| ShardEvent { shard, event })
+        })
         .collect();
     // Stable sort: equal (time, shard) pairs keep their within-shard
     // decode order.
-    merged.sort_by(|a, b| {
-        a.event
-            .time
-            .cmp(&b.event.time)
-            .then(a.shard.cmp(&b.shard))
-    });
+    merged.sort_by(|a, b| a.event.time.cmp(&b.event.time).then(a.shard.cmp(&b.shard)));
     merged
 }
 

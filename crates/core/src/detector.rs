@@ -143,14 +143,42 @@ struct DetectorObs {
     fft_span: Histogram,
 }
 
+/// The times and magnitude matrix of one analyzed capture — every
+/// candidate's Goertzel magnitude in every analysis frame, the raw
+/// material for ambient tracking and calibration.
+#[derive(Debug, Clone)]
+pub struct FrameMagnitudes {
+    /// Start time of each frame within the capture.
+    pub times: Vec<Duration>,
+    /// Row-major `n_frames × candidates` magnitude matrix.
+    pub magnitudes: Vec<f64>,
+    /// Number of candidates (row width).
+    pub candidates: usize,
+}
+
+impl FrameMagnitudes {
+    /// Number of analysis frames.
+    pub fn n_frames(&self) -> usize {
+        self.times.len()
+    }
+
+    /// The per-candidate magnitudes of frame `fi`.
+    pub fn frame(&self, fi: usize) -> &[f64] {
+        &self.magnitudes[fi * self.candidates..(fi + 1) * self.candidates]
+    }
+}
+
 /// A multi-frequency tone detector.
 #[derive(Debug, Clone)]
 pub struct ToneDetector {
     config: DetectorConfig,
     candidates: Vec<f64>,
     /// Per-candidate noise floor (linear magnitude), from
-    /// [`ToneDetector::calibrate`]; defaults to zero (absolute threshold
-    /// only).
+    /// [`ToneDetector::calibrate`] or [`ToneDetector::set_noise_floor`].
+    /// Never below [`ToneDetector::floor_min`], so the SNR gate always
+    /// has a real floor to work against — an uncalibrated detector's
+    /// floors used to be literal zeros, which silently reduced
+    /// `min_snr` to a no-op.
     noise_floor: Vec<f64>,
     obs: DetectorObs,
 }
@@ -175,11 +203,30 @@ impl ToneDetector {
             "frame/hop must be non-zero"
         );
         let n = candidates.len();
+        let floor = Self::floor_min_for(&config);
         Self {
             config,
             candidates,
-            noise_floor: vec![0.0; n],
+            noise_floor: vec![floor; n],
             obs: DetectorObs::default(),
+        }
+    }
+
+    /// The smallest noise floor any candidate may carry: the floor at
+    /// which the SNR gate (`magnitude ≥ floor × min_snr`) exactly meets
+    /// the absolute gate (`magnitude ≥ min_magnitude`). Floors below this
+    /// add no information — they only weaken the SNR gate — so
+    /// construction, [`Self::calibrate`], and [`Self::set_noise_floor`]
+    /// all clamp to it.
+    pub fn floor_min(&self) -> f64 {
+        Self::floor_min_for(&self.config)
+    }
+
+    fn floor_min_for(config: &DetectorConfig) -> f64 {
+        if config.min_snr > 0.0 {
+            config.min_magnitude / config.min_snr
+        } else {
+            0.0
         }
     }
 
@@ -211,20 +258,55 @@ impl ToneDetector {
     /// Calibrate the per-candidate noise floor from a signal known to
     /// contain no MDN tones (e.g. a capture of the idle room). Each
     /// candidate's floor becomes its maximum magnitude over the sample's
-    /// frames.
+    /// frames, clamped to [`Self::floor_min`] — calibrating against
+    /// digital silence (a dead microphone, an empty buffer) must not
+    /// zero the floors and quietly disarm the SNR gate.
     pub fn calibrate(&mut self, noise_only: &Signal) {
+        let min = self.floor_min();
         let (grid, mags) = self.frame_magnitudes(noise_only);
         let k = self.candidates.len();
         for (c, floor) in self.noise_floor.iter_mut().enumerate() {
             *floor = (0..grid.n_frames)
                 .map(|fi| mags[fi * k + c])
-                .fold(0.0f64, f64::max);
+                .fold(min, f64::max);
         }
     }
 
     /// The calibrated noise floor per candidate.
     pub fn noise_floor(&self) -> &[f64] {
         &self.noise_floor
+    }
+
+    /// Replace the per-candidate noise floors directly — the hook a
+    /// streaming ambient estimator uses to re-tune thresholds without a
+    /// dedicated calibration capture. Floors are clamped to
+    /// [`Self::floor_min`].
+    ///
+    /// # Panics
+    /// Panics if `floors.len()` differs from the candidate count.
+    pub fn set_noise_floor(&mut self, floors: &[f64]) {
+        assert_eq!(
+            floors.len(),
+            self.candidates.len(),
+            "floor count must match candidate count"
+        );
+        let min = self.floor_min();
+        for (dst, &src) in self.noise_floor.iter_mut().zip(floors) {
+            *dst = src.max(min);
+        }
+    }
+
+    /// The full per-frame magnitude matrix for `signal` — every
+    /// candidate probed in every frame, with frame start times. This is
+    /// [`Self::detect`] without the thresholding: ambient trackers use it
+    /// to watch the slots that *didn't* fire.
+    pub fn analyze(&self, signal: &Signal) -> FrameMagnitudes {
+        let (grid, magnitudes) = self.frame_magnitudes(signal);
+        FrameMagnitudes {
+            times: (0..grid.n_frames).map(|fi| grid.time(fi)).collect(),
+            magnitudes,
+            candidates: self.candidates.len(),
+        }
     }
 
     fn grid(&self, samples_len: usize, sample_rate: u32) -> FrameGrid {
@@ -250,7 +332,9 @@ impl ToneDetector {
         } else {
             self.config.threads
         };
-        requested.min(n_frames.div_ceil(MIN_FRAMES_PER_THREAD)).max(1)
+        requested
+            .min(n_frames.div_ceil(MIN_FRAMES_PER_THREAD))
+            .max(1)
     }
 
     /// The magnitude matrix (`n_frames × candidates`, row-major) for every
@@ -711,7 +795,11 @@ mod tests {
                     ..DetectorConfig::default()
                 },
             );
-            assert_eq!(par_det.detect_fft(&sig, 10.0), baseline, "threads={threads}");
+            assert_eq!(
+                par_det.detect_fft(&sig, 10.0),
+                baseline,
+                "threads={threads}"
+            );
         }
     }
 
@@ -790,6 +878,76 @@ mod tests {
         let det = ToneDetector::new(vec![600.0, 900.0]);
         assert!(!det.detect(&sig).is_empty());
         assert_eq!(det.obs.frames.get(), 0, "default handles stay inert");
+    }
+
+    #[test]
+    fn uncalibrated_floor_is_explicit_not_zero() {
+        // Regression: fresh detectors used to carry all-zero noise floors,
+        // which silently reduced the SNR gate to a no-op. The floor must
+        // start at the explicit minimum where the SNR gate meets the
+        // absolute gate.
+        let det = ToneDetector::new(vec![500.0, 700.0]);
+        let expect = det.config().min_magnitude / det.config().min_snr;
+        assert!(expect > 0.0);
+        assert!(
+            det.noise_floor().iter().all(|&f| f == expect),
+            "floors {:?}",
+            det.noise_floor()
+        );
+    }
+
+    #[test]
+    fn calibrating_on_silence_keeps_the_floor() {
+        // A dead microphone hands the calibrator digital silence; the
+        // floors must clamp at the minimum instead of collapsing to zero.
+        let mut det = ToneDetector::new(vec![500.0, 700.0]);
+        det.calibrate(&Signal::silence(Duration::from_millis(500), SR));
+        let min = det.floor_min();
+        assert!(
+            det.noise_floor().iter().all(|&f| f == min),
+            "floors {:?}",
+            det.noise_floor()
+        );
+    }
+
+    #[test]
+    fn set_noise_floor_clamps_and_gates() {
+        let mut det = ToneDetector::new(vec![700.0]);
+        det.set_noise_floor(&[0.0]);
+        assert_eq!(det.noise_floor()[0], det.floor_min(), "zero must clamp");
+        // A raised floor must actually gate: a tone below floor × min_snr
+        // goes unreported, the same tone passes once the floor drops back.
+        let sig = render_sequence(&[tone_at(700.0, 0, 300, 0.01)], SR);
+        det.set_noise_floor(&[0.02]);
+        assert!(
+            det.detect(&sig).is_empty(),
+            "0.01 tone over 0.02 floor must not fire"
+        );
+        det.set_noise_floor(&[0.001]);
+        assert!(
+            !det.detect(&sig).is_empty(),
+            "tone must fire after re-tuning down"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "floor count")]
+    fn set_noise_floor_rejects_wrong_length() {
+        ToneDetector::new(vec![700.0]).set_noise_floor(&[0.1, 0.2]);
+    }
+
+    #[test]
+    fn analyze_exposes_the_detect_matrix() {
+        let sig = busy_capture();
+        let det = ToneDetector::new(vec![600.0, 900.0]);
+        let fm = det.analyze(&sig);
+        assert_eq!(fm.candidates, 2);
+        assert_eq!(fm.magnitudes.len(), fm.n_frames() * 2);
+        let (grid, raw) = det.frame_magnitudes(&sig);
+        assert_eq!(fm.n_frames(), grid.n_frames);
+        assert_eq!(fm.magnitudes, raw, "analyze must be the raw matrix");
+        assert_eq!(fm.times[0], Duration::ZERO);
+        assert!(fm.frame(1).iter().all(|&m| m >= 0.0));
     }
 
     #[test]

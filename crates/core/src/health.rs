@@ -17,8 +17,19 @@
 //! A dead wire channel (echo monitor gave up) forces `Quarantined`
 //! outright and flips the device's control path to
 //! [`ControlPath::Acoustic`] — the fallback the paper motivates.
+//!
+//! The acoustic plane gets its own, parallel ledger: expected tones that
+//! never decode ([`HealthTracker::record_missed_tone`]) push an acoustic
+//! score up until the device's speaker/mic pair is declared dead
+//! ([`DeviceHealth::acoustic_alive`] = false); decoded tones
+//! ([`HealthTracker::record_heard_tone`]) pull it back. Unlike the wire
+//! score, the acoustic score does **not** decay with time — silence is
+//! the symptom, so only positive evidence (a heard tone) revives a dead
+//! speaker. The tracker also timestamps outages (quarantine or acoustic
+//! death) and, on recovery, records the outage length — the
+//! mean-time-to-repair ledger the self-healing loop reports.
 
-use mdn_obs::{Counter, Journal, Registry};
+use mdn_obs::{Counter, Histogram, Journal, Registry};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -59,6 +70,15 @@ pub struct HealthConfig {
     pub ack_reward: f64,
     /// Multiplicative decay applied per tick.
     pub decay: f64,
+    /// Acoustic score added per expected tone that never decoded.
+    pub missed_tone_penalty: f64,
+    /// Acoustic score subtracted per decoded tone (floored at zero).
+    /// Sized so a revived speaker climbs back out in about two
+    /// listen/decode ticks.
+    pub heard_tone_reward: f64,
+    /// Acoustic score at or above which the device's speaker/mic pair is
+    /// declared dead (`acoustic_alive` = false).
+    pub acoustic_dead_at: f64,
     /// Per-device transition-timeline ring capacity: when a device's
     /// timeline is full the oldest entry is evicted and its
     /// `dropped_transitions` counter bumped, so a long chaos run (a
@@ -77,6 +97,9 @@ impl Default for HealthConfig {
             echo_timeout_penalty: 3.0,
             ack_reward: 0.5,
             decay: 0.85,
+            missed_tone_penalty: 1.5,
+            heard_tone_reward: 3.0,
+            acoustic_dead_at: 4.0,
             timeline_capacity: 64,
         }
     }
@@ -91,6 +114,20 @@ pub struct DeviceHealth {
     pub state: HealthState,
     /// False once the wire channel is declared dead (forces quarantine).
     pub wire_alive: bool,
+    /// Acoustic-plane evidence score (higher = deafer). Does not decay.
+    pub acoustic_score: f64,
+    /// False once missed tones pushed `acoustic_score` past
+    /// [`HealthConfig::acoustic_dead_at`]; only heard tones revive it.
+    pub acoustic_alive: bool,
+    /// When the current outage (quarantine or acoustic death) started;
+    /// `None` while the device is serviceable.
+    pub outage_since: Option<Duration>,
+    /// `(when, outage length)` of the most recent completed recovery.
+    pub last_recovery: Option<(Duration, Duration)>,
+    /// Completed outage→recovery cycles.
+    pub recoveries: u64,
+    /// Times the acoustic plane was declared dead.
+    pub acoustic_deaths: u64,
     /// The last [`HealthConfig::timeline_capacity`] state changes as
     /// `(when, new state)`, oldest first.
     pub transitions: Vec<(Duration, HealthState)>,
@@ -105,6 +142,12 @@ impl DeviceHealth {
             score: 0.0,
             state: HealthState::Healthy,
             wire_alive: true,
+            acoustic_score: 0.0,
+            acoustic_alive: true,
+            outage_since: None,
+            last_recovery: None,
+            recoveries: 0,
+            acoustic_deaths: 0,
             transitions: Vec::new(),
             dropped_transitions: 0,
         }
@@ -117,6 +160,9 @@ impl DeviceHealth {
 struct TrackerObs {
     transitions: Counter,
     quarantines: Counter,
+    acoustic_deaths: Counter,
+    recoveries: Counter,
+    recovery_time: Histogram,
     journal: Journal,
 }
 
@@ -147,18 +193,26 @@ impl HealthTracker {
     }
 
     /// Register this tracker's metrics with an observability registry:
-    /// `mdn_health_transitions_total`, `mdn_health_quarantines_total`, and
-    /// a `health.transition` entry in the registry's journal per state
-    /// change. Transitions recorded before attachment are carried over to
-    /// the counters (the journal only sees changes from now on).
+    /// `mdn_health_transitions_total`, `mdn_health_quarantines_total`,
+    /// `mdn_health_acoustic_deaths_total`, `mdn_health_recoveries_total`,
+    /// a `mdn_health_recovery_ns` histogram of outage lengths, and
+    /// `health.transition` / `health.acoustic` / `health.recovered`
+    /// entries in the registry's journal. Events recorded before
+    /// attachment are carried over to the counters (the journal and the
+    /// histogram only see changes from now on).
     pub fn attach_obs(&mut self, registry: &Registry) {
         self.obs = TrackerObs {
             transitions: registry.counter("mdn_health_transitions_total", &[]),
             quarantines: registry.counter("mdn_health_quarantines_total", &[]),
+            acoustic_deaths: registry.counter("mdn_health_acoustic_deaths_total", &[]),
+            recoveries: registry.counter("mdn_health_recoveries_total", &[]),
+            recovery_time: registry.histogram("mdn_health_recovery_ns", &[]),
             journal: registry.journal(),
         };
         let mut prior = 0u64;
         let mut prior_quarantines = 0u64;
+        let mut prior_acoustic_deaths = 0u64;
+        let mut prior_recoveries = 0u64;
         for d in self.devices.values() {
             prior += d.transitions.len() as u64 + d.dropped_transitions;
             prior_quarantines += d
@@ -166,9 +220,13 @@ impl HealthTracker {
                 .iter()
                 .filter(|(_, s)| *s == HealthState::Quarantined)
                 .count() as u64;
+            prior_acoustic_deaths += d.acoustic_deaths;
+            prior_recoveries += d.recoveries;
         }
         self.obs.transitions.add(prior);
         self.obs.quarantines.add(prior_quarantines);
+        self.obs.acoustic_deaths.add(prior_acoustic_deaths);
+        self.obs.recoveries.add(prior_recoveries);
     }
 
     fn entry(&mut self, device: &str) -> &mut DeviceHealth {
@@ -207,8 +265,45 @@ impl HealthTracker {
             if state == HealthState::Quarantined {
                 obs.quarantines.inc();
             }
-            obs.journal
-                .record(now, "health.transition", format!("{device}: {old:?} -> {state:?}"));
+            obs.journal.record(
+                now,
+                "health.transition",
+                format!("{device}: {old:?} -> {state:?}"),
+            );
+        }
+        let acoustic = d.acoustic_score < config.acoustic_dead_at;
+        if acoustic != d.acoustic_alive {
+            d.acoustic_alive = acoustic;
+            if !acoustic {
+                d.acoustic_deaths += 1;
+                obs.acoustic_deaths.inc();
+            }
+            obs.journal.record(
+                now,
+                "health.acoustic",
+                format!("{device}: {}", if acoustic { "alive" } else { "dead" }),
+            );
+        }
+        // Outage ledger: a device is in outage while quarantined or
+        // acoustically dead; leaving that set completes a recovery.
+        let in_outage = d.state == HealthState::Quarantined || !d.acoustic_alive;
+        match (d.outage_since, in_outage) {
+            (None, true) => d.outage_since = Some(now),
+            (Some(start), false) => {
+                let took = now.saturating_sub(start);
+                d.outage_since = None;
+                d.last_recovery = Some((now, took));
+                d.recoveries += 1;
+                obs.recoveries.inc();
+                obs.recovery_time
+                    .record(took.as_nanos().min(u64::MAX as u128) as u64);
+                obs.journal.record(
+                    now,
+                    "health.recovered",
+                    format!("{device}: recovered after {took:?}"),
+                );
+            }
+            _ => {}
         }
     }
 
@@ -245,6 +340,28 @@ impl HealthTracker {
         let (config, obs) = (self.config, self.obs.clone());
         let d = self.entry(device);
         d.score += penalty;
+        Self::recompute(&config, &obs, device, d, now);
+    }
+
+    /// Record expected acoustic tones (acks the controller scheduled)
+    /// that never decoded for `device`. Enough consecutive misses declare
+    /// the device's speaker/mic pair dead.
+    pub fn record_missed_tone(&mut self, device: &str, count: u64, now: Duration) {
+        let penalty = self.config.missed_tone_penalty * count as f64;
+        let (config, obs) = (self.config, self.obs.clone());
+        let d = self.entry(device);
+        d.acoustic_score += penalty;
+        Self::recompute(&config, &obs, device, d, now);
+    }
+
+    /// Record tones actually decoded from `device`. Positive evidence is
+    /// the only thing that revives a dead acoustic plane — the score does
+    /// not decay with time.
+    pub fn record_heard_tone(&mut self, device: &str, count: u64, now: Duration) {
+        let reward = self.config.heard_tone_reward * count as f64;
+        let (config, obs) = (self.config, self.obs.clone());
+        let d = self.entry(device);
+        d.acoustic_score = (d.acoustic_score - reward).max(0.0);
         Self::recompute(&config, &obs, device, d, now);
     }
 
@@ -289,6 +406,44 @@ impl HealthTracker {
             }
             _ => ControlPath::Wire,
         }
+    }
+
+    /// Is `device`'s acoustic plane serviceable? (`true` if never seen.)
+    pub fn acoustic_alive(&self, device: &str) -> bool {
+        self.devices.get(device).is_none_or(|d| d.acoustic_alive)
+    }
+
+    /// `device`'s acoustic evidence score (0 if never seen).
+    pub fn acoustic_score(&self, device: &str) -> f64 {
+        self.devices.get(device).map_or(0.0, |d| d.acoustic_score)
+    }
+
+    /// Can the controller still talk to `device` over *some* path — a
+    /// trusted wire or a live speaker/mic pair? (`true` if never seen.)
+    pub fn reachable(&self, device: &str) -> bool {
+        self.devices.get(device).is_none_or(|d| {
+            (d.wire_alive && d.state != HealthState::Quarantined) || d.acoustic_alive
+        })
+    }
+
+    /// When `device`'s current outage started (`None` while serviceable).
+    pub fn outage_since(&self, device: &str) -> Option<Duration> {
+        self.devices.get(device).and_then(|d| d.outage_since)
+    }
+
+    /// Length of `device`'s most recent completed outage — the MTTR
+    /// sample the self-healing loop reports (`None` until the first
+    /// recovery).
+    pub fn recovery_time(&self, device: &str) -> Option<Duration> {
+        self.devices
+            .get(device)
+            .and_then(|d| d.last_recovery)
+            .map(|(_, took)| took)
+    }
+
+    /// `(when, outage length)` of `device`'s most recent recovery.
+    pub fn last_recovery(&self, device: &str) -> Option<(Duration, Duration)> {
+        self.devices.get(device).and_then(|d| d.last_recovery)
     }
 
     /// `device`'s state-transition timeline — the most recent
@@ -388,10 +543,7 @@ mod tests {
         assert_eq!(t.state("dev"), HealthState::Healthy);
         assert_eq!(t.control_path("dev"), ControlPath::Wire);
         let states: Vec<HealthState> = t.timeline("dev").iter().map(|(_, s)| *s).collect();
-        assert_eq!(
-            states,
-            vec![HealthState::Quarantined, HealthState::Healthy]
-        );
+        assert_eq!(states, vec![HealthState::Quarantined, HealthState::Healthy]);
     }
 
     #[test]
@@ -429,7 +581,11 @@ mod tests {
             ..HealthConfig::default()
         });
         t.set_wire_alive("dev", false, MS(100));
-        assert_eq!(t.state("dev"), HealthState::Quarantined, "state still moves");
+        assert_eq!(
+            t.state("dev"),
+            HealthState::Quarantined,
+            "state still moves"
+        );
         assert!(t.timeline("dev").is_empty());
         assert_eq!(t.dropped_transitions("dev"), 1);
     }
@@ -451,6 +607,88 @@ mod tests {
         assert_eq!(snap.journal[0].detail, "dev: Healthy -> Degraded");
         assert_eq!(snap.journal[1].detail, "dev: Degraded -> Quarantined");
         assert_eq!(snap.journal[1].at, MS(200));
+    }
+
+    #[test]
+    fn missed_tones_kill_the_acoustic_plane() {
+        let mut t = HealthTracker::default();
+        t.record_missed_tone("sw", 1, MS(100));
+        t.record_missed_tone("sw", 1, MS(200));
+        assert!(t.acoustic_alive("sw"), "two misses are not conclusive");
+        t.record_missed_tone("sw", 1, MS(300));
+        assert!(!t.acoustic_alive("sw"), "three misses cross the threshold");
+        assert!(t.reachable("sw"), "the wire still works");
+        assert_eq!(t.outage_since("sw"), Some(MS(300)));
+        // The wire ladder is a separate ledger: still Healthy.
+        assert_eq!(t.state("sw"), HealthState::Healthy);
+    }
+
+    #[test]
+    fn silence_does_not_revive_a_dead_speaker() {
+        let mut t = HealthTracker::default();
+        t.record_missed_tone("sw", 3, MS(100));
+        assert!(!t.acoustic_alive("sw"));
+        for step in 0..50u64 {
+            t.decay_tick(MS(200 + step * 100));
+        }
+        assert!(
+            !t.acoustic_alive("sw"),
+            "absence of evidence must not revive the acoustic plane"
+        );
+    }
+
+    #[test]
+    fn heard_tones_revive_and_record_recovery_time() {
+        let mut t = HealthTracker::default();
+        t.record_missed_tone("sw", 3, MS(100)); // score 4.5 -> dead, outage starts
+        assert!(!t.acoustic_alive("sw"));
+        t.record_heard_tone("sw", 1, MS(700)); // score 1.5 -> alive again
+        assert!(t.acoustic_alive("sw"));
+        assert_eq!(t.recovery_time("sw"), Some(MS(600)));
+        assert_eq!(t.last_recovery("sw"), Some((MS(700), MS(600))));
+        assert_eq!(t.outage_since("sw"), None);
+        t.record_heard_tone("sw", 1, MS(800));
+        assert_eq!(t.acoustic_score("sw"), 0.0, "score floors at zero");
+    }
+
+    #[test]
+    fn wire_and_acoustic_death_together_make_a_device_unreachable() {
+        let mut t = HealthTracker::default();
+        t.set_wire_alive("sw", false, MS(100));
+        assert!(t.reachable("sw"), "acoustic fallback still works");
+        t.record_missed_tone("sw", 3, MS(200));
+        assert!(!t.reachable("sw"), "both planes down");
+        t.record_heard_tone("sw", 2, MS(900));
+        assert!(t.reachable("sw"), "a heard tone restores the fallback");
+        // The outage spans the quarantine too: it only ends once the
+        // device is neither quarantined nor acoustically dead.
+        assert_eq!(t.recovery_time("sw"), None, "wire is still dead");
+        t.set_wire_alive("sw", true, MS(1200));
+        assert_eq!(t.recovery_time("sw"), Some(MS(1100)));
+    }
+
+    #[test]
+    fn obs_records_acoustic_deaths_and_recoveries() {
+        let registry = mdn_obs::Registry::new();
+        let mut t = HealthTracker::default();
+        // One pre-attachment death + recovery: carried over to counters.
+        t.record_missed_tone("early", 3, MS(10));
+        t.record_heard_tone("early", 2, MS(20));
+        t.attach_obs(&registry);
+        t.record_missed_tone("sw", 3, MS(100));
+        t.record_heard_tone("sw", 2, MS(400));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["mdn_health_acoustic_deaths_total"], 2);
+        assert_eq!(snap.counters["mdn_health_recoveries_total"], 2);
+        let hist = &snap.histograms["mdn_health_recovery_ns"];
+        assert_eq!(hist.count, 1, "histogram only sees post-attachment outages");
+        assert_eq!(hist.sum, MS(300).as_nanos() as u64);
+        let kinds: Vec<&str> = snap.journal.iter().map(|e| e.kind.as_str()).collect();
+        assert_eq!(
+            kinds,
+            vec!["health.acoustic", "health.acoustic", "health.recovered"]
+        );
+        assert_eq!(snap.journal[2].detail, "sw: recovered after 300ms");
     }
 
     #[test]

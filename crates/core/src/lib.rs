@@ -22,6 +22,9 @@
 //! * [`fan`] — the parametric server-fan model behind Figures 6–7;
 //! * [`health`] — the controller's per-device degradation ladder
 //!   (Healthy → Degraded → Quarantined) and wire/acoustic path choice;
+//! * [`selfheal`] — the self-healing acoustic plane: streaming ambient
+//!   re-calibration, dead speaker/mic detection, and live cell
+//!   re-planning with plan hot-swap;
 //! * [`relay`] — the §8 multi-hop tone relay extension;
 //! * [`live`] — a threaded streaming listener for endless microphone
 //!   input (chunked audio in, events out);
@@ -63,6 +66,7 @@ pub mod freqplan;
 pub mod health;
 pub mod live;
 pub mod relay;
+pub mod selfheal;
 pub mod sequence;
 
 pub use cells::{CellConfig, CellPlan, ShardedController};
@@ -72,3 +76,4 @@ pub use encoder::SoundingDevice;
 pub use freqplan::{FrequencyPlan, FrequencySet};
 pub use health::{ControlPath, HealthConfig, HealthState, HealthTracker};
 pub use live::ListenerPanic;
+pub use selfheal::{AmbientEstimator, SelfHealConfig, SelfHealingController};
