@@ -246,6 +246,30 @@ impl Scene {
             .unwrap_or(Duration::ZERO)
     }
 
+    /// Drop emissions that cannot be heard in any window starting at or
+    /// after `cutoff`: those with `start + duration + delay_bound <=
+    /// cutoff`, where `delay_bound` is a caller-supplied upper bound on
+    /// the propagation delay from any emission to any listener it will
+    /// still render for (e.g. the delay across the hall's diagonal).
+    /// Returns the number retired.
+    ///
+    /// Rendering is time-functional — an emission only contributes to
+    /// samples at or after its own delayed start — so windows from
+    /// `cutoff` onward stay byte-identical after the sweep. This is the
+    /// garbage collection that keeps a soak's emission index O(active
+    /// tones) instead of O(all tones ever played); windows *before*
+    /// `cutoff` must not be rendered again afterwards.
+    pub fn retire_emissions_before(&mut self, cutoff: Duration, delay_bound: Duration) -> usize {
+        let before = self.emissions.len();
+        self.emissions
+            .retain(|e| e.start + e.signal.duration() + delay_bound > cutoff);
+        let retired = before - self.emissions.len();
+        if retired > 0 {
+            self.index.take();
+        }
+        retired
+    }
+
     /// Worker threads for rendering `total_len` output samples.
     fn render_workers(&self, total_len: usize) -> usize {
         let requested = if self.render_threads == 0 {
@@ -528,6 +552,38 @@ mod tests {
         assert_eq!(out.len(), 8820);
         // Quiet ambient: ~20 dB SPL.
         assert!((out.rms_spl() - 20.0).abs() < 2.0, "got {}", out.rms_spl());
+    }
+
+    #[test]
+    fn retiring_spent_emissions_keeps_later_windows_byte_identical() {
+        let mut scene = Scene::quiet(SR);
+        scene.set_ambient_seed(11);
+        let far = Pos::new(8.0, 0.0, 0.0);
+        scene.add(Pos::ORIGIN, Duration::ZERO, tone(900.0, 100, 60.0), "old");
+        // Ends (at the source) just before the cutoff, but its ~20 ms
+        // propagation delay to the listener pushes its tail across it —
+        // exactly the emission a naive `end <= cutoff` sweep would lose.
+        scene.add(far, Duration::from_millis(440), tone(1100.0, 55, 60.0), "mid");
+        scene.add(Pos::ORIGIN, Duration::from_millis(600), tone(700.0, 100, 60.0), "live");
+        let listener = Pos::new(1.0, 0.5, 0.0);
+        let w = win(500, 300);
+        let reference = scene.render_window(listener, w);
+
+        // A generous delay bound keeps "mid" (still ringing into later
+        // windows after propagation) but retires "old".
+        let delay_bound = Duration::from_millis(50);
+        let retired = scene.retire_emissions_before(Duration::from_millis(500), delay_bound);
+        assert_eq!(retired, 1, "only the spent emission goes");
+        assert_eq!(scene.num_emissions(), 2);
+        let swept = scene.render_window(listener, w);
+        assert_eq!(
+            reference.samples(),
+            swept.samples(),
+            "windows after the cutoff must not change"
+        );
+
+        // Retiring nothing touches nothing.
+        assert_eq!(scene.retire_emissions_before(Duration::ZERO, delay_bound), 0);
     }
 
     #[test]

@@ -153,7 +153,7 @@ pub fn monitoring_under_congestion() -> MonitoringAblationResult {
     // Per report: (sent_at, queue_len_at_send, src_port used as sequence).
     let mut reports: Vec<(Duration, usize, u16)> = Vec::new();
     let mut seq: u16 = 20_000;
-    while let RunOutcome::Tick { at, .. } = net.run_until(total) {
+    while let RunOutcome::Tick { at, .. } = net.run_until(total + SAMPLE_INTERVAL) {
         let q = net.switch(s1).queue_len(1);
         // In-band: the agent sends one report packet through the
         // bottleneck to the collector.

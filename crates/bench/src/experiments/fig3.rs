@@ -142,7 +142,7 @@ pub fn port_knocking(params: &PortKnockParams) -> PortKnockResult {
     let mut tap_cursor = 0usize;
     let mut unlock_time = None;
     let mut knock_tone_times = Vec::new();
-    while let RunOutcome::Tick { at, .. } = net.run_until(params.total) {
+    while let RunOutcome::Tick { at, .. } = net.run_until(params.total + TICK) {
         // 1. Sonify fresh tap records for knock ports at their
         //    actual arrival times.
         let tap_len = net.switch(topo.s1).tap.as_ref().map_or(0, Vec::len);

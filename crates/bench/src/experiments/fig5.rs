@@ -159,7 +159,7 @@ pub fn load_balancing() -> LoadBalancingResult {
     let mut queue_top = Vec::new();
     let mut queue_bottom = Vec::new();
     let mut rebalance_time = None;
-    while let RunOutcome::Tick { at, .. } = net.run_until(total) {
+    while let RunOutcome::Tick { at, .. } = net.run_until(total + SAMPLE_INTERVAL) {
         let q_top = net.switch(topo.s_in).queue_len(1);
         let q_bot = net.switch(topo.s_in).queue_len(2);
         queue_top.push((at.as_secs_f64(), q_top as f64));
@@ -303,7 +303,7 @@ pub fn queue_monitor() -> QueueMonitorResult {
 
     let mut queue_series = Vec::new();
     let mut true_bands = Vec::new();
-    while let RunOutcome::Tick { at, .. } = net.run_until(total) {
+    while let RunOutcome::Tick { at, .. } = net.run_until(total + SAMPLE_INTERVAL) {
         let q = net.switch(topo.s1).queue_len(1);
         queue_series.push((at.as_secs_f64(), q as f64));
         let band = mapper.band_of(q);

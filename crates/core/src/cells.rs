@@ -98,6 +98,13 @@ pub struct CellConfig {
     /// Safety factor the worst-case interference must clear the threshold
     /// by (≥ 1).
     pub safety_margin: f64,
+    /// Usable response band of the switches' speakers `(lo_hz, hi_hz)`.
+    /// The planner refuses any coloring whose allocated slots fall outside
+    /// it — a slot the speaker cannot drive is silence, not capacity — and
+    /// migration only claims spares inside it. Defaults to the paper's
+    /// cheap testbed speaker; halls fitted with the §8 ultrasound-capable
+    /// hardware widen it to unlock high sub-bands at large color counts.
+    pub speaker_band: (f64, f64),
 }
 
 impl Default for CellConfig {
@@ -112,6 +119,7 @@ impl Default for CellConfig {
             detector_floor: 4e-3,
             source_level_db: crate::encoder::DEFAULT_LEVEL_DB,
             safety_margin: 1.5,
+            speaker_band: Speaker::cheap().band,
         }
     }
 }
@@ -139,6 +147,21 @@ pub enum CellPlanError {
         interference: f64,
         /// The budget it had to stay under (`threshold / margin`).
         budget: f64,
+    },
+    /// A coloring that satisfies the interference bound allocates slots
+    /// the configured speaker cannot drive: higher color counts push the
+    /// top sub-bands past the speaker's response band, so every emission
+    /// there would fail at the speaker — silently missing evidence, not
+    /// occupying spectrum.
+    SpeakerUnreachable {
+        /// Color count under which the allocation was attempted.
+        colors: usize,
+        /// The sub-band color whose allocation leaves the band.
+        color: usize,
+        /// The offending slot frequency.
+        freq_hz: f64,
+        /// The speaker's usable band.
+        band: (f64, f64),
     },
     /// [`CellPlan::replan_without_cell`] found no host able to absorb a
     /// dead cell's switches.
@@ -182,6 +205,17 @@ impl fmt::Display for CellPlanError {
                 f,
                 "reuse unsafe at cell {cell}: worst-case foreign amplitude {interference:.2e} \
                  exceeds budget {budget:.2e}"
+            ),
+            CellPlanError::SpeakerUnreachable {
+                colors,
+                color,
+                freq_hz,
+                band,
+            } => write!(
+                f,
+                "{colors}-color plan allocates {freq_hz} Hz in color {color}, outside the \
+                 speaker band {}..{} Hz",
+                band.0, band.1
             ),
             CellPlanError::MigrationInfeasible { dead, detail } => {
                 write!(f, "cannot evacuate dead cell {dead}: {detail}")
@@ -361,6 +395,32 @@ impl CellPlan {
             Ok(())
         };
 
+        // Every slot a coloring would hand out must sit inside the
+        // configured speaker's response band: allocation takes the bottom
+        // `per_cell` slots of each used sub-band, so checking both ends of
+        // that prefix per color suffices. Without this, high color counts
+        // "succeed" with sub-bands the hardware cannot drive and every
+        // emission there fails at the speaker — the same physical limit
+        // `try_migrate` already enforces for spare slots.
+        let (band_lo, band_hi) = cfg.speaker_band;
+        let playable = |k: usize| -> Result<(), CellPlanError> {
+            for color in 0..k.min(num_cells) {
+                let sub = base.subband(color, k);
+                for i in [0, per_cell - 1] {
+                    let f = sub.slot_freq(i);
+                    if f < band_lo || f > band_hi {
+                        return Err(CellPlanError::SpeakerUnreachable {
+                            colors: k,
+                            color,
+                            freq_hz: f,
+                            band: cfg.speaker_band,
+                        });
+                    }
+                }
+            }
+            Ok(())
+        };
+
         let colors = if cfg.colors > 0 {
             if cfg.colors > max_colors {
                 return Err(CellPlanError::Capacity {
@@ -370,13 +430,14 @@ impl CellPlan {
                 });
             }
             legal(cfg.colors)?;
+            playable(cfg.colors)?;
             cfg.colors
         } else {
             let upper = max_colors.min(num_cells);
             let mut found = None;
             let mut last_err = None;
             for k in 1..=upper {
-                match legal(k) {
+                match legal(k).and_then(|()| playable(k)) {
                     Ok(()) => {
                         found = Some(k);
                         break;
@@ -470,6 +531,9 @@ impl CellPlan {
         }
         if cfg.safety_margin < 1.0 {
             return bad("safety margin must be at least 1");
+        }
+        if !(cfg.speaker_band.0 >= 0.0 && cfg.speaker_band.1 > cfg.speaker_band.0) {
+            return bad("speaker band must be a non-empty non-negative range");
         }
         Ok(())
     }
@@ -565,6 +629,19 @@ impl CellPlan {
                 .position(|n| n == name)
                 .map(|j| (cell.id, j))
         })
+    }
+
+    /// The sounding device `name` under the current plan: planned set,
+    /// position, and level. After a migration this reflects the hosting
+    /// cell's patched allocation (boosted level, spare slots), so an
+    /// event loop that resolves devices at emission time follows the
+    /// switch through an evacuation. `None` if no cell binds the name.
+    pub fn sounding_device(&self, name: &str) -> Option<SoundingDevice> {
+        let (c, j) = self.find_device(name)?;
+        let cell = &self.cells[c];
+        let mut dev = SoundingDevice::new(name, cell.sets[j].clone(), cell.switch_pos[j]);
+        dev.level_db = cell.levels[j];
+        Some(dev)
     }
 
     /// Cells whose mic is still serviceable.
@@ -703,9 +780,9 @@ impl CellPlan {
         let needed: usize = migrants.sets.iter().map(|s| s.len()).sum();
         // Free slots, top of the sub-band first — but only slots the
         // migrants' speakers can actually drive: a high color's sub-band
-        // extends past the cheap testbed speaker's response band, and a
+        // extends past the configured speaker's response band, and a
         // slot the speaker refuses is not a usable spare.
-        let (band_lo, band_hi) = Speaker::cheap().band;
+        let (band_lo, band_hi) = self.cfg.speaker_band;
         let mut free: Vec<usize> = (0..sub.capacity())
             .rev()
             .filter(|&i| !occupied[i])
@@ -1086,6 +1163,38 @@ mod tests {
             loud.cells()[0].threshold > quiet.cells()[0].threshold,
             "datacenter ambient must raise the floor"
         );
+    }
+
+    #[test]
+    fn unplayable_high_colors_are_rejected_not_silently_allocated() {
+        // 100 cells need 6 colors for the interference bound, but color 5's
+        // sub-band starts above the cheap speaker's 15 kHz top: every
+        // emission there would fail at the speaker. The planner must refuse
+        // rather than hand out dead spectrum.
+        let err = CellPlan::plan(100, &[AmbientProfile::office()], CellConfig::default())
+            .expect_err("cheap speakers cannot drive a 6-color plan");
+        assert!(
+            matches!(err, CellPlanError::SpeakerUnreachable { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn ultrasound_band_unlocks_the_same_plan() {
+        let cfg = CellConfig {
+            speaker_band: Speaker::ultrasound_capable().band,
+            ..CellConfig::default()
+        };
+        let plan = CellPlan::plan(100, &[AmbientProfile::office()], cfg).unwrap();
+        assert!(plan.colors() >= 5, "expected a high-reuse coloring");
+        let (lo, hi) = plan.config().speaker_band;
+        for cell in plan.cells() {
+            for set in &cell.sets {
+                for &f in &set.freqs {
+                    assert!((lo..=hi).contains(&f), "allocated {f} Hz outside band");
+                }
+            }
+        }
     }
 
     #[test]

@@ -18,6 +18,13 @@ use mdn_audio::Signal;
 use mdn_obs::{Counter, Registry};
 use std::time::Duration;
 
+/// How far before a window [`MdnController::listen`] extends its capture
+/// so the detector's neighbouring-frame gate sees the body of a tone
+/// whose tail crosses the boundary (clamped at scene start). Anything
+/// that ended more than this before a capture can never influence it —
+/// the bound an event loop's scene garbage collection builds on.
+pub const LISTEN_PRE_ROLL: Duration = Duration::from_millis(150);
+
 /// A device the controller listens for.
 #[derive(Debug, Clone)]
 pub struct DeviceBinding {
@@ -236,7 +243,7 @@ impl MdnController {
     /// (the 300 ms tick loops of §6) see phantom tones at window
     /// boundaries.
     pub fn listen(&self, scene: &Scene, w: Window) -> Vec<MdnEvent> {
-        let pre_roll = Duration::from_millis(150).min(w.from);
+        let pre_roll = LISTEN_PRE_ROLL.min(w.from);
         let start = w.from - pre_roll;
         let capture = self.capture(scene, Window::new(start, w.len + pre_roll));
         self.decode(&capture)

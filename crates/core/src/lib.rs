@@ -10,6 +10,9 @@
 //! * [`freqplan`] — 20 Hz-spaced tone slots, disjoint per-device sets,
 //!   ~1000-slot audible capacity, the §8 ultrasound extension;
 //! * [`encoder`] — device event → Music Protocol frame → speaker → scene;
+//! * [`eventloop`] — the unified event-driven control loop: packets,
+//!   tone emissions, capture windows, self-heal passes, and faults on
+//!   one deterministic `(time, seq)` heap;
 //! * [`detector`] — microphone capture → Goertzel/FFT tone observations
 //!   with noise-floor calibration;
 //! * [`controller`] — bindings from frequency sets to devices, capture →
@@ -61,6 +64,7 @@ pub mod cells;
 pub mod controller;
 pub mod detector;
 pub mod encoder;
+pub mod eventloop;
 pub mod fan;
 pub mod freqplan;
 pub mod health;

@@ -100,7 +100,7 @@ impl ToneRelay {
     /// capture renders only the window (plus pre-roll), so relaying stays
     /// O(window) no matter how much scene time has already elapsed.
     pub fn relay_window(&mut self, scene: &mut Scene, w: Window) -> BTreeSet<usize> {
-        let pre_roll = Duration::from_millis(150).min(w.from);
+        let pre_roll = crate::controller::LISTEN_PRE_ROLL.min(w.from);
         let start = w.from - pre_roll;
         let capture = scene.capture(&self.mic, self.pos, Window::new(start, w.len + pre_roll));
         let heard: BTreeSet<usize> = self

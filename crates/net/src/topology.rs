@@ -132,7 +132,9 @@ pub struct LeafSpineTopo {
     /// hosts; port `hosts_per_leaf + s` faces spine `s`.
     pub leaves: Vec<NodeId>,
     /// Hosts, leaf-major: `hosts[l * hosts_per_leaf + h]` is host `h` on
-    /// leaf `l`, with IP `10.0.(l+1).(h+1)`.
+    /// leaf `l`, with IP `10.(l/250).(l%250 + 1).(h+1)` — leaves spill
+    /// into the second octet 250 at a time, so the first 250 leaves keep
+    /// the historical `10.0.(l+1).(h+1)` addresses.
     pub hosts: Vec<NodeId>,
     /// Hosts attached to each leaf.
     pub hosts_per_leaf: usize,
@@ -146,7 +148,7 @@ impl LeafSpineTopo {
 
     /// The IP assigned to host `h` on leaf `l`.
     pub fn host_ip(&self, leaf: usize, h: usize) -> Ip {
-        Ip::v4(10, 0, (leaf + 1) as u8, (h + 1) as u8)
+        Ip::v4(10, (leaf / 250) as u8, (leaf % 250 + 1) as u8, (h + 1) as u8)
     }
 
     /// The leaf port facing spine `s`.
@@ -159,8 +161,9 @@ impl LeafSpineTopo {
 /// `leaves × hosts_per_leaf` access links at `access_bps`.
 ///
 /// # Panics
-/// Panics if any tier count is zero, or `leaves`/`hosts_per_leaf` exceed
-/// 250 (the octets we address from).
+/// Panics if any tier count is zero, `hosts_per_leaf` exceeds 250 (one
+/// address octet), or `leaves` exceeds 62 500 (250 per second-octet
+/// block, 250 blocks).
 pub fn leaf_spine(
     net: &mut Network,
     spines: usize,
@@ -171,7 +174,7 @@ pub fn leaf_spine(
     latency: Duration,
 ) -> LeafSpineTopo {
     assert!(spines >= 1, "need at least one spine");
-    assert!((1..=250).contains(&leaves), "leaves out of range");
+    assert!((1..=62_500).contains(&leaves), "leaves out of range");
     assert!(
         (1..=250).contains(&hosts_per_leaf),
         "hosts_per_leaf out of range"
@@ -184,7 +187,7 @@ pub fn leaf_spine(
     for l in 0..leaves {
         let leaf = net.add_switch(format!("leaf{}", l + 1), hosts_per_leaf + spines);
         for h in 0..hosts_per_leaf {
-            let ip = Ip::v4(10, 0, (l + 1) as u8, (h + 1) as u8);
+            let ip = Ip::v4(10, (l / 250) as u8, (l % 250 + 1) as u8, (h + 1) as u8);
             let host = net.add_host(format!("h{}-{}", l + 1, h + 1), ip);
             net.connect(host, 0, leaf, h, access_bps, latency);
             host_ids.push(host);
@@ -403,6 +406,29 @@ mod tests {
         assert_eq!(net.switch(t.leaves[95]).ports.len(), 1 + 8);
         assert_eq!(net.switch(t.spines[0]).ports.len(), 96);
         assert_eq!(net.host(t.host(95, 0)).ip, Ip::v4(10, 0, 96, 1));
+    }
+
+    #[test]
+    fn leaf_spine_addresses_past_250_leaves() {
+        let mut net = Network::new();
+        let t = leaf_spine(&mut net, 2, 260, 2, MBPS, 4 * MBPS, Duration::from_micros(10));
+        assert_eq!(t.leaves.len(), 260);
+        assert_eq!(t.hosts.len(), 520);
+        // The first 250 leaves keep their historical third-octet
+        // addresses; leaves beyond spill into the second octet.
+        assert_eq!(t.host_ip(0, 0), Ip::v4(10, 0, 1, 1));
+        assert_eq!(t.host_ip(249, 1), Ip::v4(10, 0, 250, 2));
+        assert_eq!(t.host_ip(250, 0), Ip::v4(10, 1, 1, 1));
+        assert_eq!(t.host_ip(259, 1), Ip::v4(10, 1, 10, 2));
+        assert_eq!(net.host(t.host(259, 1)).ip, t.host_ip(259, 1));
+        // No two hosts collide.
+        let mut ips: Vec<Ip> = (0..260)
+            .flat_map(|l| (0..2).map(move |h| (l, h)))
+            .map(|(l, h)| t.host_ip(l, h))
+            .collect();
+        ips.sort();
+        ips.dedup();
+        assert_eq!(ips.len(), 520);
     }
 
     #[test]

@@ -99,7 +99,7 @@ fn main() {
     }
 
     println!("t(s)  queue_top  queue_bottom  tone");
-    while let RunOutcome::Tick { at, .. } = net.run_until(total) {
+    while let RunOutcome::Tick { at, .. } = net.run_until(total + SAMPLE_INTERVAL) {
         let q_top = net.switch(topo.s_in).queue_len(1);
         let q_bot = net.switch(topo.s_in).queue_len(2);
         let band = mapper.band_of(q_top.max(q_bot));

@@ -86,7 +86,7 @@ fn main() {
     }
     let mut cursor = 0;
     let mut unlocked_at = None;
-    while let RunOutcome::Tick { at, .. } = net.run_until(total) {
+    while let RunOutcome::Tick { at, .. } = net.run_until(total + TICK) {
         let tap = net.switch(topo.s1).tap.as_ref().unwrap().clone();
         for rec in &tap[cursor..] {
             if let Some(slot) = KNOCK_PORTS.iter().position(|&p| p == rec.flow.dst_port) {

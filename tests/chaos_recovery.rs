@@ -154,7 +154,7 @@ fn run_scenario(seed: u64, backoff: BackoffConfig) -> ScenarioOutcome {
     let mut alarm_sent_at = None;
     let mut tone_heard_at = None;
     let mut rerouted_at = None;
-    while let RunOutcome::Tick { at, .. } = net.run_until(total) {
+    while let RunOutcome::Tick { at, .. } = net.run_until(total + TICK) {
         script.apply_due(&mut net, at);
 
         // Switch-local watchdog: black-holing egress → sound the alarm,

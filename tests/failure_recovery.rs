@@ -74,7 +74,7 @@ fn link_failure_alarm_tone_triggers_reroute() {
     let mut last_link_drops = 0u64;
     let mut alarm_sounded_at = None;
     let mut rerouted_at = None;
-    while let RunOutcome::Tick { at, .. } = net.run_until(total) {
+    while let RunOutcome::Tick { at, .. } = net.run_until(total + TICK) {
         if !failed && at >= fail_at {
             net.set_link_up(top_link, false);
             failed = true;
