@@ -23,7 +23,7 @@ use crate::mic::Microphone;
 use mdn_audio::noise::white_noise_add;
 use mdn_audio::signal::{duration_to_samples, spl_to_amplitude, Window};
 use mdn_audio::Signal;
-use mdn_obs::{Counter, Histogram, Registry};
+use mdn_obs::{Counter, Histogram, Registry, SpanKind, TraceId, TraceSink, TraceSpan};
 use std::sync::OnceLock;
 use std::time::Duration;
 
@@ -129,6 +129,10 @@ pub struct Scene {
     render_threads: usize,
     index: OnceLock<EmissionIndex>,
     obs: SceneObs,
+    trace: TraceSink,
+    /// A trace armed by [`Scene::set_next_emission_trace`], consumed by
+    /// the next [`Scene::add`] to record that emission's `emit` span.
+    pending_trace: Option<(TraceId, usize)>,
 }
 
 impl Scene {
@@ -144,6 +148,8 @@ impl Scene {
             render_threads: 0,
             index: OnceLock::new(),
             obs: SceneObs::default(),
+            trace: TraceSink::disabled(),
+            pending_trace: None,
         }
     }
 
@@ -164,6 +170,28 @@ impl Scene {
             render_span: registry.stage_histogram("scene.render"),
         };
         self.obs.emissions.add(self.emissions.len() as u64);
+    }
+
+    /// Attach a causal-trace sink. Once attached, an emission armed with
+    /// [`Scene::set_next_emission_trace`] records an `emit` span covering
+    /// its signal's air time when it lands in [`Scene::add`].
+    pub fn attach_trace(&mut self, sink: &TraceSink) {
+        self.trace = sink.clone();
+    }
+
+    /// Arm the next [`Scene::add`] call to record its emission against
+    /// `trace` (attributed to `cell`). Un-consumed arms are replaced by
+    /// the next call; [`Scene::clear_emission_trace`] disarms (e.g. when
+    /// the emit attempt failed before reaching the scene).
+    pub fn set_next_emission_trace(&mut self, trace: TraceId, cell: usize) {
+        if self.trace.is_enabled() {
+            self.pending_trace = Some((trace, cell));
+        }
+    }
+
+    /// Disarm a pending [`Scene::set_next_emission_trace`].
+    pub fn clear_emission_trace(&mut self) {
+        self.pending_trace = None;
     }
 
     /// A quiet scene (20 dB SPL ambient) — the default for unit tests.
@@ -216,11 +244,23 @@ impl Scene {
             self.sample_rate,
             "emission sample rate must match the scene"
         );
+        let label = label.into();
+        if let Some((trace, cell)) = self.pending_trace.take() {
+            self.trace.record(TraceSpan {
+                trace,
+                kind: SpanKind::Emit,
+                from: start,
+                to: start + signal.duration(),
+                wall_ns: 0,
+                cell,
+                detail: label.clone(),
+            });
+        }
         self.emissions.push(Emission {
             pos,
             start,
             signal,
-            label: label.into(),
+            label,
         });
         self.index.take();
         self.obs.emissions.inc();

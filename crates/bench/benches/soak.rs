@@ -20,13 +20,25 @@
 //! packets without wedging the fabric.
 //!
 //! Writes `BENCH_soak.json` at the workspace root: events/sec through
-//! the unified queue, per-event latency percentiles (wall-clock per
-//! heap event, sampled per loop slice), and window-close latency
+//! the unified queue, per-event heap-dispatch latency percentiles
+//! (from the `mdn_net_dispatch_ns` histograms, interpolated with
+//! `HistogramSnapshot::quantile`), and window-close latency
 //! percentiles.
 //!
 //! `cargo bench -p mdn-bench --bench soak -- --test` runs a scaled-down
 //! smoke pass (102 switches, 2.4 s horizon, health still asserted) and
 //! skips the JSON (CI uses this).
+//!
+//! Observability hooks (either mode):
+//! * `MDN_TRACE_OUT=<path>` — turn causal tracing on and write the
+//!   retained spans as Chrome trace-event JSON (open in Perfetto).
+//! * `MDN_TRACE_CAP=<n>` — trace ring capacity (default 262144 spans).
+//! * `MDN_OBS_ADDR=<ip:port>` — serve `/metrics`, `/snapshot` and
+//!   `/trace?since=` over HTTP for the soak's lifetime (use `:0` for an
+//!   ephemeral port; the bound address is printed), self-scraped once
+//!   at the end as a health check.
+//! * `MDN_OBS_HOLD_SECS=<n>` — keep the server up n seconds after the
+//!   report so a human can `curl` it.
 
 use mdn_acoustics::ambient::AmbientProfile;
 use mdn_acoustics::faults::{SceneFaultPlan, Window};
@@ -40,6 +52,7 @@ use mdn_net::packet::FlowKey;
 use mdn_net::topology::leaf_spine;
 use mdn_net::traffic::TrafficPattern;
 use mdn_net::{NetFault, Network};
+use mdn_obs::{HistogramSnapshot, ObsServer, Registry};
 use std::time::{Duration, Instant};
 
 const SR: u32 = 44_100;
@@ -91,23 +104,9 @@ struct SoakOutcome {
     replans: Vec<(Duration, usize)>,
     availability: f64,
     wall_seconds: f64,
-    /// Per-slice mean per-event latency, microseconds (one slice per
-    /// `step` return, weighted by nothing — the percentile is over
-    /// slices).
-    per_event_us: Vec<f64>,
-    /// Wall-clock of each window-closing slice, milliseconds.
-    window_close_ms: Vec<f64>,
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
-}
-
-fn run_soak(p: &SoakParams) -> SoakOutcome {
+fn run_soak(p: &SoakParams, registry: &Registry) -> SoakOutcome {
     let total = WIN * p.windows as u32;
 
     // ---- Acoustic side: the cell plan and the persistent scene.
@@ -152,6 +151,7 @@ fn run_soak(p: &SoakParams) -> SoakOutcome {
 
     // ---- Network side: the leaf-spine fabric under CBR cross-traffic.
     let mut net = Network::new();
+    net.attach_obs(registry);
     let topo = leaf_spine(
         &mut net,
         p.spines,
@@ -218,6 +218,7 @@ fn run_soak(p: &SoakParams) -> SoakOutcome {
 
     // ---- One loop over both worlds.
     let mut lp = UnifiedLoop::new(net, scene, heal, WIN);
+    lp.attach_trace(&registry.trace());
     // Worst-case propagation across the hall (~6.5 m per cell pitch)
     // plus margin: the GC bound that keeps windows byte-identical.
     let hall_m = 6.5 * p.cells as f64 + 10.0;
@@ -248,27 +249,19 @@ fn run_soak(p: &SoakParams) -> SoakOutcome {
     let mut replans = Vec::new();
     let horizon = total + WIN;
 
+    let window_close_hist = registry.histogram("mdn_soak_window_close_ns", &[]);
     let wall_start = Instant::now();
     let mut last_t = wall_start;
-    let mut last_events = 0u64;
-    let mut per_event_us = Vec::new();
-    let mut window_close_ms = Vec::new();
     let mut windows_closed = 0u64;
     while windows_closed < p.windows {
         let step = lp.step(horizon);
         let now = Instant::now();
         let slice = now - last_t;
-        let events = lp.net().events_processed();
-        let processed = events - last_events;
-        if processed > 0 {
-            per_event_us.push(slice.as_secs_f64() * 1e6 / processed as f64);
-        }
         last_t = now;
-        last_events = events;
         match step {
             Step::Window { window, report } => {
                 windows_closed += 1;
-                window_close_ms.push(slice.as_secs_f64() * 1e3);
+                window_close_hist.record(slice.as_nanos() as u64);
                 heard_total += report.heard.len() as u64;
                 if let Some(cell) = report.replanned {
                     replans.push((window.end(), cell));
@@ -282,6 +275,7 @@ fn run_soak(p: &SoakParams) -> SoakOutcome {
         }
     }
     let wall_seconds = wall_start.elapsed().as_secs_f64();
+    lp.net().publish_obs(registry);
 
     let counters = lp.net().counters;
     assert_eq!(lp.emit_failures(), 0, "every scheduled emission must play");
@@ -297,14 +291,48 @@ fn run_soak(p: &SoakParams) -> SoakOutcome {
         replans,
         availability: heard_total as f64 / expected_total as f64,
         wall_seconds,
-        per_event_us,
-        window_close_ms,
     }
+}
+
+/// One raw HTTP GET against the soak's own obs server.
+fn scrape(addr: std::net::SocketAddr, target: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect obs server");
+    write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nHost: soak\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send scrape request");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read scrape response");
+    out
 }
 
 fn soak_and_report(smoke: bool) {
     let p = if smoke { SMOKE } else { FULL };
-    let out = run_soak(&p);
+
+    let trace_out = std::env::var("MDN_TRACE_OUT").ok();
+    let obs_addr = std::env::var("MDN_OBS_ADDR").ok();
+    let tracing_on = trace_out.is_some() || obs_addr.is_some();
+    let registry = if tracing_on {
+        let cap = std::env::var("MDN_TRACE_CAP")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1 << 18);
+        Registry::with_trace(cap)
+    } else {
+        Registry::new()
+    };
+    // Bind before the soak so a human can watch the run live.
+    let server = obs_addr.map(|addr| {
+        let handle = ObsServer::new(&registry, &registry.trace())
+            .serve(addr.as_str())
+            .expect("bind obs server");
+        eprintln!("obs server on http://{}/metrics", handle.addr());
+        handle
+    });
+
+    let out = run_soak(&p, &registry);
 
     // Health gates, both modes: the fabric carried traffic, every window
     // decoded most of its sonification, the queue saw real volume.
@@ -316,6 +344,37 @@ fn soak_and_report(smoke: bool) {
         out.availability
     );
     assert!(out.events_total > out.packets_delivered);
+
+    // Tracing artifacts and the live-scrape health check run in both
+    // modes — CI's obs-trace-smoke exercises them on the smoke pass.
+    if let Some(path) = &trace_out {
+        let sink = registry.trace();
+        std::fs::write(path, sink.to_chrome_json()).expect("write trace JSON");
+        eprintln!(
+            "wrote {} trace spans ({} dropped) to {path}",
+            sink.len(),
+            sink.dropped()
+        );
+    }
+    if let Some(handle) = server {
+        let metrics = scrape(handle.addr(), "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200"), "metrics scrape failed");
+        assert!(
+            metrics.contains("mdn_net_events_processed"),
+            "published network gauges missing from /metrics"
+        );
+        let trace = scrape(handle.addr(), "/trace?since=0");
+        assert!(trace.starts_with("HTTP/1.1 200"), "trace scrape failed");
+        assert!(trace.contains("\"traceEvents\""), "trace scrape not Chrome JSON");
+        eprintln!("self-scrape OK: /metrics and /trace served");
+        if let Ok(hold) = std::env::var("MDN_OBS_HOLD_SECS") {
+            if let Ok(secs) = hold.parse::<u64>() {
+                eprintln!("holding obs server for {secs}s — curl it now");
+                std::thread::sleep(Duration::from_secs(secs));
+            }
+        }
+        handle.shutdown();
+    }
 
     if smoke {
         eprintln!(
@@ -336,10 +395,28 @@ fn soak_and_report(smoke: bool) {
     assert!(out.replans[0].0 > FAULT_AT, "evacuated before the fault");
     assert!(out.packets_dropped > 0, "link flap dropped nothing");
 
-    let mut pe = out.per_event_us.clone();
-    pe.sort_by(|a, b| a.total_cmp(b));
-    let mut wc = out.window_close_ms.clone();
-    wc.sort_by(|a, b| a.total_cmp(b));
+    // Latency percentiles come straight from the log₂ histograms the run
+    // filled — `quantile` interpolates inside the bucket the rank lands
+    // in, and the top edge clamps to the recorded max.
+    let snap = registry.snapshot();
+    let hist = |name: &str| {
+        snap.histograms.get(name).cloned().unwrap_or(HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            max: 0,
+            mean: 0.0,
+            buckets: Vec::new(),
+        })
+    };
+    let dispatch = hist("mdn_net_dispatch_ns{kind=\"all\"}");
+    let window_close = hist("mdn_soak_window_close_ns");
+    assert!(dispatch.count > 0, "dispatch histogram never recorded");
+    let us = |h: &HistogramSnapshot, q: f64| h.quantile(q) / 1e3;
+    let ms = |h: &HistogramSnapshot, q: f64| h.quantile(q) / 1e6;
+    let kind_summary = |kind: &str| {
+        let h = hist(&format!("mdn_net_dispatch_ns{{kind=\"{kind}\"}}"));
+        serde_json::json!({"count": h.count, "p50": us(&h, 0.50), "p99": us(&h, 0.99)})
+    };
 
     let summary = serde_json::json!({
         "bench": "soak",
@@ -363,16 +440,21 @@ fn soak_and_report(smoke: bool) {
         "wall_seconds": out.wall_seconds,
         "events_per_sec": out.events_total as f64 / out.wall_seconds,
         "per_event_latency_us": {
-            "p50": percentile(&pe, 0.50),
-            "p95": percentile(&pe, 0.95),
-            "p99": percentile(&pe, 0.99),
-            "max": percentile(&pe, 1.0),
+            "p50": us(&dispatch, 0.50),
+            "p95": us(&dispatch, 0.95),
+            "p99": us(&dispatch, 0.99),
+            "max": dispatch.max as f64 / 1e3,
+        },
+        "dispatch_kind_us": {
+            "deliver": kind_summary("deliver"),
+            "generate": kind_summary("generate"),
+            "port_free": kind_summary("port_free"),
         },
         "window_close_ms": {
-            "p50": percentile(&wc, 0.50),
-            "p95": percentile(&wc, 0.95),
-            "p99": percentile(&wc, 0.99),
-            "max": percentile(&wc, 1.0),
+            "p50": ms(&window_close, 0.50),
+            "p95": ms(&window_close, 0.95),
+            "p99": ms(&window_close, 0.99),
+            "max": window_close.max as f64 / 1e6,
         },
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_soak.json");

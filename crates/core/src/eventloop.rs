@@ -73,7 +73,10 @@ use mdn_acoustics::speaker::Speaker;
 use mdn_audio::signal::Window;
 use mdn_net::faults::NetFault;
 use mdn_net::network::{Network, RunOutcome};
+use mdn_obs::{SpanKind, TraceId, TraceSink, TraceSpan};
+use std::collections::BTreeMap;
 use std::time::Duration;
+use std::time::Instant;
 
 /// A control-plane event carried on the network heap as a tagged tick.
 #[derive(Debug, Clone)]
@@ -83,6 +86,8 @@ enum ControlEvent {
         device: String,
         slot: usize,
         duration: Duration,
+        /// The tone's causal trace (`None` when tracing is off).
+        trace: Option<(TraceId, usize)>,
     },
     /// Close the capture window ending now; observe it.
     WindowBoundary,
@@ -139,10 +144,11 @@ pub struct UnifiedLoop {
     /// Tag registry: heap tick `tag` indexes this; entries are one-shot.
     tags: Vec<Option<ControlEvent>>,
     /// Emissions fired but not yet folded into a heal pass, in fire
-    /// (time, seq) order: `(emission start, device name)`.
-    pending_expected: Vec<(Duration, String)>,
-    /// A window observed at its boundary, awaiting its SelfHealTick.
-    observed: Option<(Window, Vec<ShardEvent>)>,
+    /// (time, seq) order.
+    pending_expected: Vec<PendingTone>,
+    /// A window observed at its boundary, awaiting its SelfHealTick:
+    /// the window, its decoded events, and the observation's wall cost.
+    observed: Option<(Window, Vec<ShardEvent>, u64)>,
     /// When set, each heal pass retires emissions that ended (plus this
     /// propagation bound) before the next capture's pre-roll, keeping
     /// the scene O(active) over long soaks.
@@ -153,6 +159,22 @@ pub struct UnifiedLoop {
     emit_failures: u64,
     emissions_fired: u64,
     emissions_retired: u64,
+    /// Causal-trace sink; disabled (free) unless attached.
+    trace: TraceSink,
+    /// Per-device schedule sequence numbers for [`TraceId::derive`].
+    /// Only advanced while tracing is on.
+    trace_seq: BTreeMap<String, u64>,
+}
+
+/// One fired-but-not-yet-healed emission in the expected-device ledger.
+#[derive(Debug, Clone)]
+struct PendingTone {
+    /// Fire time (emission start).
+    at: Duration,
+    /// The scheduled device name.
+    device: String,
+    /// Tracing context: `(id, cell, scheduled signal end)`.
+    trace: Option<(TraceId, usize, Duration)>,
 }
 
 impl UnifiedLoop {
@@ -182,6 +204,8 @@ impl UnifiedLoop {
             emit_failures: 0,
             emissions_fired: 0,
             emissions_retired: 0,
+            trace: TraceSink::disabled(),
+            trace_seq: BTreeMap::new(),
         };
         lp.schedule_control(window_start + window_len, ControlEvent::WindowBoundary);
         lp
@@ -206,6 +230,17 @@ impl UnifiedLoop {
         self.speaker = speaker;
     }
 
+    /// Attach a causal-trace sink: every emission scheduled from here on
+    /// mints a deterministic [`TraceId`] and records a span per pipeline
+    /// hop it takes — `schedule`, `emit` (via the scene), `window_close`,
+    /// `detect`, then `decode` or the `missed` → `health_penalty` →
+    /// `replan` chain. Span sim-time bounds are bit-identical across
+    /// thread counts; wall costs are diagnostic only.
+    pub fn attach_trace(&mut self, sink: &TraceSink) {
+        self.trace = sink.clone();
+        self.scene.attach_trace(sink);
+    }
+
     /// Schedule device `name` to sound set-local `slot` at `at` for
     /// `duration`. The device is resolved from the plan current at fire
     /// time; the emission is added to the next window's expected set.
@@ -216,12 +251,39 @@ impl UnifiedLoop {
         slot: usize,
         duration: Duration,
     ) {
+        let device = name.into();
+        let trace = if self.trace.is_enabled() {
+            // (cell, switch) come from the plan at *schedule* time — the
+            // id names the tone as asked for, even if an evacuation later
+            // migrates the device before it fires.
+            let (cell, switch) = self
+                .heal
+                .plan()
+                .find_device(&device)
+                .unwrap_or((usize::MAX, usize::MAX));
+            let seq = self.trace_seq.entry(device.clone()).or_insert(0);
+            let id = TraceId::derive(cell as u64, switch as u64, *seq);
+            *seq += 1;
+            self.trace.record(TraceSpan {
+                trace: id,
+                kind: SpanKind::Schedule,
+                from: self.net.now().min(at),
+                to: at.max(self.net.now()),
+                wall_ns: 0,
+                cell,
+                detail: format!("{device} slot {slot}"),
+            });
+            Some((id, cell))
+        } else {
+            None
+        };
         self.schedule_control(
             at,
             ControlEvent::Emission {
-                device: name.into(),
+                device,
                 slot,
                 duration,
+                trace,
             },
         );
     }
@@ -270,20 +332,24 @@ impl UnifiedLoop {
                     device,
                     slot,
                     duration,
+                    trace,
                 } => {
-                    self.fire_emission(at, device, slot, duration);
+                    self.fire_emission(at, device, slot, duration, trace);
                 }
                 ControlEvent::WindowBoundary => {
                     let w = Window::between(self.window_start, at);
+                    let observe_started = self.trace.is_enabled().then(Instant::now);
                     let events = self.heal.observe_window(&self.scene, w);
-                    self.observed = Some((w, events));
+                    let observe_wall_ns = observe_started
+                        .map_or(0, |t| t.elapsed().as_nanos() as u64);
+                    self.observed = Some((w, events, observe_wall_ns));
                     // Same instant, later seq: every already-scheduled
                     // event at `at` fires before the heal pass.
                     self.schedule_control(at, ControlEvent::SelfHealTick);
                     self.schedule_control(at + self.window_len, ControlEvent::WindowBoundary);
                 }
                 ControlEvent::SelfHealTick => {
-                    let (w, events) = self
+                    let (w, events, observe_wall_ns) = self
                         .observed
                         .take()
                         .expect("a SelfHealTick always follows its WindowBoundary");
@@ -292,13 +358,18 @@ impl UnifiedLoop {
                     // belongs to the next window, like its samples.
                     let split = self
                         .pending_expected
-                        .partition_point(|(t, _)| *t < boundary);
-                    let expected: Vec<String> = self
-                        .pending_expected
-                        .drain(..split)
-                        .map(|(_, name)| name)
-                        .collect();
+                        .partition_point(|tone| tone.at < boundary);
+                    let drained: Vec<PendingTone> =
+                        self.pending_expected.drain(..split).collect();
+                    let expected: Vec<String> =
+                        drained.iter().map(|tone| tone.device.clone()).collect();
+                    let heal_started = self.trace.is_enabled().then(Instant::now);
                     let report = self.heal.heal_pass(&self.scene, w, &expected, events);
+                    if self.trace.is_enabled() {
+                        let heal_wall_ns =
+                            heal_started.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                        self.trace_window_hops(&drained, w, &report, observe_wall_ns, heal_wall_ns);
+                    }
                     self.window_start = boundary;
                     if let Some(bound) = self.retire_delay_bound {
                         let cutoff = boundary.saturating_sub(LISTEN_PRE_ROLL);
@@ -311,7 +382,20 @@ impl UnifiedLoop {
         }
     }
 
-    fn fire_emission(&mut self, at: Duration, device: String, slot: usize, duration: Duration) {
+    fn fire_emission(
+        &mut self,
+        at: Duration,
+        device: String,
+        slot: usize,
+        duration: Duration,
+        trace: Option<(TraceId, usize)>,
+    ) {
+        if let Some((id, cell)) = trace {
+            // Armed before the emit so the scene stamps the `emit` span
+            // with the signal's true air time; a failed emit never
+            // reaches `Scene::add`, so disarm below.
+            self.scene.set_next_emission_trace(id, cell);
+        }
         match self.heal.plan().sounding_device(&device) {
             Some(mut dev) => {
                 if let Some(sp) = &self.speaker {
@@ -319,14 +403,119 @@ impl UnifiedLoop {
                 }
                 if dev.emit_slot(&mut self.scene, slot, at, duration).is_err() {
                     self.emit_failures += 1;
+                    self.scene.clear_emission_trace();
                 }
             }
-            None => self.emit_failures += 1,
+            None => {
+                self.emit_failures += 1;
+                self.scene.clear_emission_trace();
+            }
         }
         self.emissions_fired += 1;
         // Scheduled means expected either way: a device that failed to
         // sound should be missed-evidence, exactly as a silent switch.
-        self.pending_expected.push((at, device));
+        self.pending_expected.push(PendingTone {
+            at,
+            device,
+            trace: trace.map(|(id, cell)| (id, cell, at + duration)),
+        });
+    }
+
+    /// Record the window-resolution hops for every tone the heal pass
+    /// just folded in. Runs only while tracing is on, always on the loop
+    /// thread, iterating tones in fire order — so span order (and every
+    /// sim-time field) is deterministic; only the wall costs vary.
+    fn trace_window_hops(
+        &self,
+        drained: &[PendingTone],
+        w: Window,
+        report: &TickReport,
+        observe_wall_ns: u64,
+        heal_wall_ns: u64,
+    ) {
+        let boundary = w.end();
+        for tone in drained {
+            let Some((id, cell, end)) = tone.trace else {
+                continue;
+            };
+            // The tone's samples are down; the window boundary is what
+            // makes them observable.
+            self.trace.record(TraceSpan {
+                trace: id,
+                kind: SpanKind::WindowClose,
+                from: end.min(boundary),
+                to: boundary,
+                wall_ns: 0,
+                cell,
+                detail: tone.device.clone(),
+            });
+            // The sharded listen covers the whole window; its wall cost
+            // is shared by every tone the window resolves.
+            self.trace.record(TraceSpan {
+                trace: id,
+                kind: SpanKind::Detect,
+                from: w.from,
+                to: boundary,
+                wall_ns: observe_wall_ns,
+                cell,
+                detail: tone.device.clone(),
+            });
+            let first_decode = report
+                .events
+                .iter()
+                .find(|se| se.event.device == tone.device);
+            if let Some(se) = first_decode {
+                self.trace.record(TraceSpan {
+                    trace: id,
+                    kind: SpanKind::Decode,
+                    from: se.event.time.min(boundary),
+                    to: boundary,
+                    wall_ns: 0,
+                    cell,
+                    detail: format!(
+                        "{} slot {} @{:.0}Hz",
+                        tone.device, se.event.slot, se.event.freq_hz
+                    ),
+                });
+                continue;
+            }
+            // Negative trace: scheduled but never heard. This is the
+            // evidence chain an evacuation is built from, so it stays on
+            // the tone's own id.
+            self.trace.record(TraceSpan {
+                trace: id,
+                kind: SpanKind::Missed,
+                from: tone.at.min(boundary),
+                to: boundary,
+                wall_ns: 0,
+                cell,
+                detail: tone.device.clone(),
+            });
+            self.trace.record(TraceSpan {
+                trace: id,
+                kind: SpanKind::HealthPenalty,
+                from: boundary,
+                to: boundary,
+                wall_ns: 0,
+                cell,
+                detail: format!(
+                    "{} acoustic_score {:.1}",
+                    tone.device,
+                    self.heal.health().acoustic_score(&tone.device)
+                ),
+            });
+            if report.replanned == Some(cell) {
+                self.trace.record(TraceSpan {
+                    trace: id,
+                    kind: SpanKind::Replan,
+                    from: boundary,
+                    to: boundary,
+                    wall_ns: heal_wall_ns,
+                    cell,
+                    detail: format!("evacuated cell {cell}"),
+                });
+            }
+        }
     }
 
     /// The wrapped network.

@@ -34,6 +34,35 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`) by linear
+    /// interpolation inside the log₂ bucket the target rank lands in.
+    ///
+    /// The true value's bucket is exact, so the estimate is off by at
+    /// most the bucket width; the top occupied bucket's upper edge is
+    /// clamped to the recorded [`max`](Self::max), which makes
+    /// `quantile(1.0)` return `max` exactly. Returns 0.0 on an empty
+    /// histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cumulative = 0.0;
+        for &(le, n) in &self.buckets {
+            let next = cumulative + n as f64;
+            if next >= rank {
+                let lo = if le == 0 { 0 } else { le / 2 + 1 };
+                let hi = le.min(self.max).max(lo);
+                let frac = (rank - cumulative) / n as f64;
+                return lo as f64 + frac * (hi - lo) as f64;
+            }
+            cumulative = next;
+        }
+        self.max as f64
+    }
+}
+
 /// A point-in-time JSON-serialisable view of a whole [`Registry`].
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Snapshot {
@@ -168,6 +197,12 @@ impl Registry {
             journal_dropped: inner.journal.dropped(),
             ..Snapshot::default()
         };
+        // Ring overflow must be visible in scrapes, not just in-process:
+        // surface both drop counters as synthetic counter samples.
+        snap.counters
+            .insert("mdn_obs_journal_dropped_total".into(), inner.journal.dropped());
+        snap.counters
+            .insert("mdn_obs_trace_dropped_total".into(), inner.trace.dropped());
         let metrics = inner.metrics.lock().unwrap();
         for (key, metric) in metrics.iter() {
             let rendered = key.render();
@@ -275,6 +310,14 @@ impl Registry {
                 }
             }
         }
+        let _ = writeln!(out, "# TYPE mdn_obs_journal_dropped_total counter");
+        let _ = writeln!(
+            out,
+            "mdn_obs_journal_dropped_total {}",
+            inner.journal.dropped()
+        );
+        let _ = writeln!(out, "# TYPE mdn_obs_trace_dropped_total counter");
+        let _ = writeln!(out, "mdn_obs_trace_dropped_total {}", inner.trace.dropped());
         out
     }
 }
@@ -333,6 +376,10 @@ mdn_stage_ns_bucket{le=\"1023\",stage=\"detect\"} 3
 mdn_stage_ns_bucket{le=\"+Inf\",stage=\"detect\"} 3
 mdn_stage_ns_sum{stage=\"detect\"} 906
 mdn_stage_ns_count{stage=\"detect\"} 3
+# TYPE mdn_obs_journal_dropped_total counter
+mdn_obs_journal_dropped_total 0
+# TYPE mdn_obs_trace_dropped_total counter
+mdn_obs_trace_dropped_total 0
 ";
         assert_eq!(reg.prometheus(), expected);
     }
@@ -350,7 +397,9 @@ mdn_stage_ns_count{stage=\"detect\"} 3
         let expected = "\
 {
   \"counters\": {
-    \"a_total\": 1
+    \"a_total\": 1,
+    \"mdn_obs_journal_dropped_total\": 0,
+    \"mdn_obs_trace_dropped_total\": 0
   },
   \"gauges\": {
     \"b\": 1.5
@@ -395,9 +444,105 @@ mdn_stage_ns_count{stage=\"detect\"} 3
     fn empty_registry_exports_empty_objects() {
         let reg = Registry::new();
         let json = reg.snapshot().to_json();
-        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"gauges\": {}"));
+        assert!(json.contains("\"histograms\": {}"));
+        // The synthetic drop counters are always present in scrapes.
+        assert!(json.contains("\"mdn_obs_journal_dropped_total\": 0"));
+        assert!(reg.prometheus().contains("mdn_obs_trace_dropped_total 0"));
         let disabled = Registry::disabled();
         assert_eq!(disabled.prometheus(), "");
         assert_eq!(disabled.snapshot(), Snapshot::default());
+    }
+
+    #[test]
+    fn dropped_counters_track_ring_overflow() {
+        let reg = Registry::with_journal_capacity(2);
+        for i in 0..5 {
+            reg.journal()
+                .record(std::time::Duration::from_secs(i), "k", "d");
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["mdn_obs_journal_dropped_total"], 3);
+        assert_eq!(snap.journal_dropped, 3);
+        assert!(reg
+            .prometheus()
+            .contains("mdn_obs_journal_dropped_total 3"));
+
+        let traced = Registry::with_trace(1);
+        let sink = traced.trace();
+        for seq in 0..4u64 {
+            sink.record(crate::trace::TraceSpan {
+                trace: crate::trace::TraceId::derive(0, 0, seq),
+                kind: crate::trace::SpanKind::Schedule,
+                from: std::time::Duration::ZERO,
+                to: std::time::Duration::ZERO,
+                wall_ns: 0,
+                cell: 0,
+                detail: String::new(),
+            });
+        }
+        let snap = traced.snapshot();
+        assert_eq!(snap.counters["mdn_obs_trace_dropped_total"], 3);
+        assert!(traced.prometheus().contains("mdn_obs_trace_dropped_total 3"));
+    }
+
+    /// Regression: quantile interpolation against exact hand-computed
+    /// values on the uniform distribution 1..=1000.
+    #[test]
+    fn quantile_interpolates_log2_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("q_ns", &[]);
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let hs = reg.snapshot().histograms["q_ns"].clone();
+        // rank 500 lands in bucket [256, 511] after 255 earlier values:
+        // 256 + (500-255)/256 * (511-256) = 500.04296875 exactly.
+        assert_eq!(hs.quantile(0.5), 500.04296875);
+        // The top bucket's edge clamps to max, so p100 is exact.
+        assert_eq!(hs.quantile(1.0), 1000.0);
+        // p0 returns the lower edge of the first occupied bucket.
+        assert_eq!(hs.quantile(0.0), 1.0);
+        // Out-of-range q clamps rather than extrapolating.
+        assert_eq!(hs.quantile(2.0), 1000.0);
+        // rank 990 lands in the top bucket [512, min(1023, 1000)]:
+        // 512 + (990-511)/489 * (1000-512) = 990.0981595...
+        assert!((hs.quantile(0.99) - (512.0 + 479.0 / 489.0 * 488.0)).abs() < 1e-9);
+
+        // Degenerate cases.
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            max: 0,
+            mean: 0.0,
+            buckets: vec![],
+        };
+        assert_eq!(empty.quantile(0.5), 0.0);
+        let zeros = reg.histogram("z_ns", &[]);
+        zeros.record(0);
+        zeros.record(0);
+        assert_eq!(reg.snapshot().histograms["z_ns"].quantile(0.9), 0.0);
+    }
+
+    /// Golden test: JSON string escaping for label values carrying
+    /// quotes, backslashes and newlines (alongside the Prometheus
+    /// golden, which only meets quotes/backslashes via `MetricKey`).
+    #[test]
+    fn json_escaping_golden() {
+        let reg = Registry::new();
+        reg.counter("weird_total", &[("path", "a\"b\\c\nd")]).inc();
+        let json = reg.snapshot().to_json();
+        // MetricKey::render escapes `\` and `"` for Prometheus, then
+        // json_escape re-escapes those backslashes and the raw newline.
+        let expected_key = "weird_total{path=\\\"a\\\\\\\"b\\\\\\\\c\\nd\\\"}";
+        assert!(json.contains(expected_key), "{json}");
+        // The emitted document must survive a JSON parse round-trip of
+        // its counter key: unescape and compare.
+        let line = json
+            .lines()
+            .find(|l| l.contains("weird_total"))
+            .unwrap()
+            .trim();
+        assert!(line.ends_with(": 1") || line.ends_with(": 1,"));
     }
 }

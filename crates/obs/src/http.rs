@@ -1,0 +1,272 @@
+//! A std-only HTTP scrape plane for a running experiment.
+//!
+//! The registry's exporters are in-process snapshots; a *live* soak needs
+//! its metrics reachable over a socket, the way the planned OpenFlow
+//! front-end serves control traffic — `TcpListener`, one thread per
+//! connection, no dependencies. [`ObsServer`] serves three read-only
+//! endpoints:
+//!
+//! * `GET /metrics` — the Prometheus text exposition
+//!   ([`Registry::prometheus`]).
+//! * `GET /snapshot` — the JSON snapshot ([`Snapshot::to_json`]).
+//! * `GET /trace?since=N` — retained trace spans with all-time index
+//!   `>= N` as Chrome trace-event JSON, plus an `X-Mdn-Trace-Next`
+//!   header carrying the cursor to pass as the next `since` (omit
+//!   `since` for the whole retained tail).
+//!
+//! Connections are short-lived (`Connection: close`); a scrape never
+//! pauses writers because the exporters are already lock-light
+//! point-in-time reads. Drop the [`ObsServerHandle`] (or call
+//! [`ObsServerHandle::shutdown`]) to stop accepting.
+
+use crate::registry::Registry;
+use crate::trace::{chrome_trace_json, TraceSink};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// The scrape server: a registry + trace sink pair served over HTTP.
+#[derive(Debug, Clone)]
+pub struct ObsServer {
+    registry: Registry,
+    trace: TraceSink,
+}
+
+/// A running [`ObsServer`]: owns the accept thread. Shuts down on drop.
+#[derive(Debug)]
+pub struct ObsServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// A server over `registry` and its trace sink.
+    pub fn new(registry: &Registry, trace: &TraceSink) -> Self {
+        Self {
+            registry: registry.clone(),
+            trace: trace.clone(),
+        }
+    }
+
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// accepting. Each connection is handled on its own thread — the
+    /// same shape as the planned thread-per-switch OpenFlow front-end.
+    pub fn serve(self, addr: impl ToSocketAddrs) -> std::io::Result<ObsServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_accept = stop.clone();
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop_accept.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let server = self.clone();
+                std::thread::spawn(move || {
+                    let _ = server.handle(stream);
+                });
+            }
+        });
+        Ok(ObsServerHandle {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// Serve one connection: parse the request line, route, respond,
+    /// close.
+    fn handle(&self, stream: TcpStream) -> std::io::Result<()> {
+        let mut reader = BufReader::new(stream);
+        let mut request_line = String::new();
+        reader.read_line(&mut request_line)?;
+        // Drain headers so well-behaved clients see a clean close.
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+                break;
+            }
+        }
+        let mut stream = reader.into_inner();
+
+        let mut parts = request_line.split_whitespace();
+        let method = parts.next().unwrap_or("");
+        let target = parts.next().unwrap_or("");
+        if method != "GET" {
+            return respond(&mut stream, 405, "text/plain", "method not allowed\n", &[]);
+        }
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (target, ""),
+        };
+        match path {
+            "/metrics" => {
+                let body = self.registry.prometheus();
+                respond(
+                    &mut stream,
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    &body,
+                    &[],
+                )
+            }
+            "/snapshot" => {
+                let body = self.registry.snapshot().to_json();
+                respond(&mut stream, 200, "application/json", &body, &[])
+            }
+            "/trace" => {
+                let since = query
+                    .split('&')
+                    .find_map(|kv| kv.strip_prefix("since="))
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(0);
+                let (next, spans) = self.trace.spans_since(since);
+                let body = chrome_trace_json(&spans);
+                let next_header = format!("X-Mdn-Trace-Next: {next}");
+                respond(&mut stream, 200, "application/json", &body, &[&next_header])
+            }
+            _ => respond(&mut stream, 404, "text/plain", "not found\n", &[]),
+        }
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    extra_headers: &[&str],
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for h in extra_headers {
+        head.push_str(h);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+impl ObsServerHandle {
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept thread. In-flight
+    /// responses finish on their own threads.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with one last local connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ObsServerHandle {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop_accepting();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{SpanKind, TraceId, TraceSpan};
+    use std::io::Read;
+    use std::time::Duration;
+
+    /// Minimal test client: one GET, full response as a string.
+    fn get(addr: SocketAddr, target: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "GET {target} HTTP/1.1\r\nHost: mdn\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    fn body(response: &str) -> &str {
+        response.split("\r\n\r\n").nth(1).unwrap_or("")
+    }
+
+    #[test]
+    fn serves_metrics_snapshot_and_trace() {
+        let registry = Registry::new();
+        registry.counter("mdn_http_test_total", &[]).add(3);
+        let sink = TraceSink::with_capacity(8);
+        sink.record(TraceSpan {
+            trace: TraceId::derive(0, 0, 0),
+            kind: SpanKind::Schedule,
+            from: Duration::ZERO,
+            to: Duration::from_millis(10),
+            wall_ns: 5,
+            cell: 0,
+            detail: "c0-s0".into(),
+        });
+        let handle = ObsServer::new(&registry, &sink)
+            .serve("127.0.0.1:0")
+            .unwrap();
+        let addr = handle.addr();
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200"), "{metrics}");
+        assert!(body(&metrics).contains("mdn_http_test_total 3"));
+
+        let snapshot = get(addr, "/snapshot");
+        assert!(snapshot.contains("application/json"));
+        assert!(body(&snapshot).contains("\"mdn_http_test_total\": 3"));
+
+        let trace = get(addr, "/trace?since=0");
+        assert!(trace.contains("X-Mdn-Trace-Next: 1"), "{trace}");
+        assert!(body(&trace).contains("\"name\": \"schedule\""));
+        // Cursor past the tail: empty event list.
+        let empty = get(addr, "/trace?since=1");
+        assert!(!body(&empty).contains("\"ph\""));
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+
+        handle.shutdown();
+    }
+
+    #[test]
+    fn rejects_non_get() {
+        let registry = Registry::new();
+        let handle = ObsServer::new(&registry, &TraceSink::disabled())
+            .serve("127.0.0.1:0")
+            .unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 405"));
+    }
+}

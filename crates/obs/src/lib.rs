@@ -19,6 +19,14 @@
 //! * [`journal`] — a bounded ring-buffer event journal holding the last N
 //!   health/fault transitions, with an overflow counter instead of
 //!   unbounded growth.
+//! * [`trace`] — causal tracing: a deterministic [`TraceId`] per
+//!   scheduled tone, typed [`TraceSpan`]s for every pipeline hop it
+//!   takes (including the negative `missed` → health-penalty → replan
+//!   chain), collected in a bounded [`TraceSink`] and exportable as
+//!   Chrome trace-event / Perfetto JSON.
+//! * [`http`] — a std-only scrape server ([`ObsServer`]) putting
+//!   `/metrics`, `/snapshot` and `/trace?since=` on a `TcpListener`, so
+//!   a live soak can be watched from `curl`.
 //!
 //! ```
 //! use mdn_obs::Registry;
@@ -43,11 +51,15 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod http;
 pub mod journal;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use export::{HistogramSnapshot, Snapshot};
+pub use http::{ObsServer, ObsServerHandle};
 pub use journal::{Journal, JournalEvent};
 pub use registry::{Counter, Gauge, Histogram, Registry};
 pub use span::SpanTimer;
+pub use trace::{chrome_trace_json, SpanKind, TraceId, TraceSink, TraceSpan};

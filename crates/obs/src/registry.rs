@@ -13,6 +13,7 @@
 //! `if enabled` of its own.
 
 use crate::journal::Journal;
+use crate::trace::TraceSink;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -24,6 +25,10 @@ pub const HISTOGRAM_BUCKETS: usize = 65;
 
 /// Default ring capacity of the registry's event journal.
 pub const DEFAULT_JOURNAL_CAPACITY: usize = 256;
+
+/// Default ring capacity of the registry's trace sink (when tracing is
+/// turned on via [`Registry::with_trace`]).
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
 
 /// A metric's identity: family name plus sorted `(key, value)` labels.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -237,6 +242,7 @@ impl Histogram {
 pub(crate) struct RegistryInner {
     pub(crate) metrics: Mutex<BTreeMap<MetricKey, Metric>>,
     pub(crate) journal: Journal,
+    pub(crate) trace: TraceSink,
 }
 
 /// The metric collection. Cloning is a cheap `Arc` clone; all clones see
@@ -253,12 +259,26 @@ impl Registry {
     }
 
     /// An enabled registry whose event journal keeps the last `capacity`
-    /// events.
+    /// events. Tracing stays off (a disabled [`TraceSink`]).
     pub fn with_journal_capacity(capacity: usize) -> Self {
         Self {
             inner: Some(Arc::new(RegistryInner {
                 metrics: Mutex::new(BTreeMap::new()),
                 journal: Journal::with_capacity(capacity),
+                trace: TraceSink::disabled(),
+            })),
+        }
+    }
+
+    /// An enabled registry with causal tracing on: its [`TraceSink`]
+    /// retains the last `trace_capacity` spans (the journal keeps its
+    /// default capacity).
+    pub fn with_trace(trace_capacity: usize) -> Self {
+        Self {
+            inner: Some(Arc::new(RegistryInner {
+                metrics: Mutex::new(BTreeMap::new()),
+                journal: Journal::with_capacity(DEFAULT_JOURNAL_CAPACITY),
+                trace: TraceSink::with_capacity(trace_capacity),
             })),
         }
     }
@@ -354,6 +374,16 @@ impl Registry {
         match &self.inner {
             Some(inner) => inner.journal.clone(),
             None => Journal::disabled(),
+        }
+    }
+
+    /// The registry's trace sink — disabled unless the registry was built
+    /// with [`Registry::with_trace`], so un-traced runs pay one branch
+    /// per would-be span.
+    pub fn trace(&self) -> TraceSink {
+        match &self.inner {
+            Some(inner) => inner.trace.clone(),
+            None => TraceSink::disabled(),
         }
     }
 }
