@@ -1,0 +1,232 @@
+//! Controller front-end under load: connection churn, concurrent
+//! connection count, and control-message throughput over loopback.
+//!
+//! Three phases against one `ControllerServer` running the
+//! learning-switch app:
+//!
+//! 1. **Churn** — sequential connect → Hello handshake → close rounds;
+//!    reports connections/second through the full accept + handshake
+//!    path.
+//! 2. **Concurrent** — open ≥1000 simulated-switch connections and hold
+//!    them all open at once (the ISSUE's floor; thread-per-connection
+//!    must carry it), then sample Echo round-trip latency through the
+//!    crowd.
+//! 3. **Throughput** — one pre-learned switch pipelines `PacketIn`s,
+//!    flapping the source's ingress port each message so every one is a
+//!    host move the deduplicating learning switch must answer, while a
+//!    reader thread drains the 1:1 `FlowMod` replies; reports control
+//!    messages/second each way.
+//!
+//! Writes `BENCH_controller.json` at the workspace root.
+//!
+//! `cargo bench -p mdn-bench --bench controller -- --test` runs a
+//! scaled-down smoke pass (assertions kept, JSON skipped; CI uses this).
+
+use bytes::Bytes;
+use mdn_net::packet::{FlowKey, Ip};
+use mdn_proto::controller::{
+    read_message, ControllerConfig, ControllerHandle, ControllerServer, LearningSwitch, OfClient,
+};
+use mdn_proto::openflow::OfMessage;
+use std::time::{Duration, Instant};
+
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+
+fn spawn_server() -> ControllerHandle {
+    // Long idle timeout: a held-open crowd of 1000 must not trigger a
+    // probe storm mid-measurement.
+    ControllerServer::new(|_| Box::new(LearningSwitch::new()))
+        .with_config(ControllerConfig {
+            idle_timeout: Duration::from_secs(60),
+            write_timeout: Duration::from_secs(10),
+        })
+        .serve("127.0.0.1:0")
+        .expect("bind controller")
+}
+
+/// Phase 1: full accept + handshake + close cycles, sequential.
+fn churn(handle: &ControllerHandle, rounds: usize) -> f64 {
+    let t = Instant::now();
+    for _ in 0..rounds {
+        let client = OfClient::connect(handle.addr(), CONNECT_TIMEOUT).expect("churn connect");
+        drop(client);
+    }
+    let elapsed = t.elapsed().as_secs_f64();
+    rounds as f64 / elapsed
+}
+
+/// Phase 2: hold `count` connections open at once; RTT-sample `sample`
+/// of them. Returns (peak_active_seen, sorted RTTs in µs).
+fn concurrent(handle: &ControllerHandle, count: usize, sample: usize) -> (u64, Vec<f64>) {
+    let mut clients: Vec<OfClient> = (0..count)
+        .map(|i| {
+            OfClient::connect(handle.addr(), CONNECT_TIMEOUT)
+                .unwrap_or_else(|e| panic!("connect #{i}: {e}"))
+        })
+        .collect();
+    // Every handshake completed client-side; wait for the server's
+    // accounting to agree before declaring the plateau.
+    let mut peak = 0u64;
+    for _ in 0..600 {
+        peak = peak.max(handle.stats().active);
+        if peak >= count as u64 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        peak >= count as u64,
+        "server never saw all {count} concurrent connections (peak {peak})"
+    );
+
+    let stride = (count / sample).max(1);
+    let mut rtts_us = Vec::with_capacity(sample);
+    let payload = Bytes::from_static(b"rtt-probe");
+    for client in clients.iter_mut().step_by(stride).take(sample) {
+        let t = Instant::now();
+        let skipped = client.echo(payload.clone()).expect("echo through the crowd");
+        assert_eq!(skipped, 0);
+        rtts_us.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    rtts_us.sort_by(f64::total_cmp);
+    drop(clients);
+    // Let the disconnect wave land so the next phase starts clean.
+    for _ in 0..600 {
+        if handle.stats().active == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    (peak, rtts_us)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Phase 3: pre-learn one flow's endpoints, then pipeline `packets`
+/// PacketIns against the 1:1 FlowMod replies. Returns (PacketIns/s
+/// up, FlowMods/s down) over the same wall-clock window.
+fn throughput(handle: &ControllerHandle, packets: usize) -> (f64, f64) {
+    let mut client = OfClient::connect(handle.addr(), CONNECT_TIMEOUT).expect("connect");
+    let fwd = FlowKey::tcp(Ip::v4(10, 9, 0, 1), 40_000, Ip::v4(10, 9, 0, 2), 80);
+
+    // Teach the learning switch both endpoints; drain the two installs.
+    client.packet_in(0, fwd, 1500).unwrap();
+    client.packet_in(1, fwd.reversed(), 1500).unwrap();
+    let mut installs = 0;
+    while installs < 2 {
+        match client.recv_responding().expect("pre-learn FlowMods") {
+            OfMessage::FlowMod { .. } => installs += 1,
+            other => panic!("unexpected pre-learn message {other:?}"),
+        }
+    }
+
+    // Reader thread drains replies so neither side's socket buffer
+    // fills and stalls the pipeline.
+    let mut rx = client
+        .stream_mut()
+        .try_clone()
+        .expect("clone stream for reader");
+    let reader = std::thread::spawn(move || {
+        let mut flow_mods = 0usize;
+        while flow_mods < packets {
+            match read_message(&mut rx) {
+                Ok(OfMessage::FlowMod { .. }) => flow_mods += 1,
+                Ok(_) => {}
+                Err(e) => panic!("reader died after {flow_mods} FlowMods: {e}"),
+            }
+        }
+        flow_mods
+    });
+
+    let t = Instant::now();
+    for i in 0..packets {
+        // Alternate the ingress port: each PacketIn moves the learned
+        // host, so the dedup in LearningSwitch still answers every one.
+        let in_port = ((i + 1) % 2) as u16;
+        client
+            .packet_in(in_port, fwd, 1500)
+            .expect("pipelined PacketIn");
+    }
+    let sent_elapsed = t.elapsed().as_secs_f64();
+    let flow_mods = reader.join().expect("reader thread");
+    let total_elapsed = t.elapsed().as_secs_f64();
+    assert_eq!(flow_mods, packets, "every PacketIn earned a FlowMod");
+    let _ = handle;
+    (packets as f64 / sent_elapsed, flow_mods as f64 / total_elapsed)
+}
+
+fn run(smoke: bool) {
+    let (churn_rounds, conns, rtt_sample, packets) = if smoke {
+        (40, 128, 32, 2_000)
+    } else {
+        (300, 1_000, 200, 20_000)
+    };
+
+    let handle = spawn_server();
+
+    let churn_per_sec = churn(&handle, churn_rounds);
+    let (peak_active, rtts_us) = concurrent(&handle, conns, rtt_sample);
+    let (packet_ins_per_sec, flow_mods_per_sec) = throughput(&handle, packets);
+
+    let stats = handle.stats();
+    assert_eq!(stats.decode_errors, 0, "{stats:?}");
+    assert_eq!(stats.idle_disconnects, 0, "{stats:?}");
+    assert!(
+        stats.handshaken >= (churn_rounds + conns + 1) as u64,
+        "every connection handshook: {stats:?}"
+    );
+    handle.shutdown();
+
+    if smoke {
+        eprintln!(
+            "controller smoke: churn {churn_per_sec:.0}/s, {peak_active} concurrent, \
+             {packet_ins_per_sec:.0} PacketIn/s, {flow_mods_per_sec:.0} FlowMod/s"
+        );
+        return;
+    }
+
+    let summary = serde_json::json!({
+        "bench": "controller",
+        "host_parallelism": std::thread::available_parallelism().map_or(1, |n| n.get()),
+        "concurrent_connections": peak_active,
+        "churn_rounds": churn_rounds,
+        "churn_conns_per_sec": churn_per_sec,
+        "echo_rtt_us": {
+            "samples": rtts_us.len(),
+            "p50": percentile(&rtts_us, 0.50),
+            "p95": percentile(&rtts_us, 0.95),
+            "p99": percentile(&rtts_us, 0.99),
+        },
+        "throughput": {
+            "pipelined_packets": packets,
+            "packet_ins_per_sec": packet_ins_per_sec,
+            "flow_mods_per_sec": flow_mods_per_sec,
+        },
+        "lifetime": {
+            "handshakes": stats.handshaken,
+            "rx_messages": stats.rx_messages,
+            "tx_messages": stats.tx_messages,
+            "flow_mods_tx": stats.flow_mods_tx,
+            "packet_ins_rx": stats.packet_ins_rx,
+        },
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_controller.json");
+    std::fs::write(path, serde_json::to_string_pretty(&summary).unwrap() + "\n")
+        .expect("write BENCH_controller.json");
+    eprintln!(
+        "controller: churn {churn_per_sec:.0}/s, {peak_active} concurrent, \
+         {packet_ins_per_sec:.0} PacketIn/s up, {flow_mods_per_sec:.0} FlowMod/s down"
+    );
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    run(smoke);
+}

@@ -33,6 +33,9 @@
 //!   input (chunked audio in, events out);
 //! * [`mod@array`] — the §8 microphone-array extension (fused listeners over
 //!   switch groups);
+//! * [`ofbridge`] — glue from simulated switches to the real TCP
+//!   OpenFlow controller in `mdn-proto::controller`: ships table
+//!   misses up as `PacketIn`s and applies returned `FlowMod`s;
 //! * [`sequence`] — melodies: symbol strings and raw bytes as timed tone
 //!   sequences via MP `PlaySequence` frames.
 //!
@@ -69,6 +72,7 @@ pub mod fan;
 pub mod freqplan;
 pub mod health;
 pub mod live;
+pub mod ofbridge;
 pub mod relay;
 pub mod selfheal;
 pub mod sequence;
@@ -80,4 +84,5 @@ pub use encoder::SoundingDevice;
 pub use freqplan::{FrequencyPlan, FrequencySet};
 pub use health::{ControlPath, HealthConfig, HealthState, HealthTracker};
 pub use live::ListenerPanic;
+pub use ofbridge::{OfAgent, PumpReport};
 pub use selfheal::{AmbientEstimator, SelfHealConfig, SelfHealingController};

@@ -26,12 +26,21 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long an accepted connection may sit silent before it is reaped.
+///
+/// Scrapes are one short request–response exchange; anything that holds
+/// a socket open without speaking (a slow-loris client, a dead peer) is
+/// cut after this deadline so it cannot pin a handler thread forever.
+const DEFAULT_CLIENT_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// The scrape server: a registry + trace sink pair served over HTTP.
 #[derive(Debug, Clone)]
 pub struct ObsServer {
     registry: Registry,
     trace: TraceSink,
+    client_timeout: Duration,
 }
 
 /// A running [`ObsServer`]: owns the accept thread. Shuts down on drop.
@@ -48,7 +57,14 @@ impl ObsServer {
         Self {
             registry: registry.clone(),
             trace: trace.clone(),
+            client_timeout: DEFAULT_CLIENT_TIMEOUT,
         }
+    }
+
+    /// Replace the default read/write deadline on accepted connections.
+    pub fn with_client_timeout(mut self, timeout: Duration) -> Self {
+        self.client_timeout = timeout;
+        self
     }
 
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
@@ -81,6 +97,10 @@ impl ObsServer {
     /// Serve one connection: parse the request line, route, respond,
     /// close.
     fn handle(&self, stream: TcpStream) -> std::io::Result<()> {
+        // A client that connects and then goes silent must not pin this
+        // thread: every read and write carries a deadline.
+        stream.set_read_timeout(Some(self.client_timeout))?;
+        stream.set_write_timeout(Some(self.client_timeout))?;
         let mut reader = BufReader::new(stream);
         let mut request_line = String::new();
         reader.read_line(&mut request_line)?;
@@ -120,11 +140,24 @@ impl ObsServer {
                 respond(&mut stream, 200, "application/json", &body, &[])
             }
             "/trace" => {
-                let since = query
-                    .split('&')
-                    .find_map(|kv| kv.strip_prefix("since="))
-                    .and_then(|v| v.parse::<u64>().ok())
-                    .unwrap_or(0);
+                // An absent cursor means "the whole retained tail"; a
+                // present-but-unparseable one is a client error, not a
+                // silent restart from zero.
+                let since = match query.split('&').find_map(|kv| kv.strip_prefix("since=")) {
+                    None => 0,
+                    Some(v) => match v.parse::<u64>() {
+                        Ok(n) => n,
+                        Err(_) => {
+                            return respond(
+                                &mut stream,
+                                400,
+                                "text/plain",
+                                "bad since cursor: expected a non-negative integer\n",
+                                &[],
+                            );
+                        }
+                    },
+                };
                 let (next, spans) = self.trace.spans_since(since);
                 let body = chrome_trace_json(&spans);
                 let next_header = format!("X-Mdn-Trace-Next: {next}");
@@ -144,6 +177,7 @@ fn respond(
 ) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
+        400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
         _ => "Error",
@@ -254,6 +288,67 @@ mod tests {
         let missing = get(addr, "/nope");
         assert!(missing.starts_with("HTTP/1.1 404"));
 
+        handle.shutdown();
+    }
+
+    #[test]
+    fn malformed_trace_cursor_is_a_client_error() {
+        let registry = Registry::new();
+        let sink = TraceSink::with_capacity(8);
+        sink.record(TraceSpan {
+            trace: TraceId::derive(0, 0, 0),
+            kind: SpanKind::Schedule,
+            from: Duration::ZERO,
+            to: Duration::from_millis(10),
+            wall_ns: 5,
+            cell: 0,
+            detail: "c0-s0".into(),
+        });
+        let handle = ObsServer::new(&registry, &sink).serve("127.0.0.1:0").unwrap();
+        let addr = handle.addr();
+
+        for target in ["/trace?since=garbage", "/trace?since=-3", "/trace?since="] {
+            let bad = get(addr, target);
+            assert!(bad.starts_with("HTTP/1.1 400"), "{target}: {bad}");
+            assert!(body(&bad).contains("bad since cursor"), "{bad}");
+        }
+        // The numeric path still pages through the ring.
+        let good = get(addr, "/trace?since=0");
+        assert!(good.starts_with("HTTP/1.1 200"), "{good}");
+        assert!(good.contains("X-Mdn-Trace-Next: 1"), "{good}");
+        // And an absent cursor still means "from the start".
+        let whole = get(addr, "/trace");
+        assert!(whole.starts_with("HTTP/1.1 200"), "{whole}");
+        assert!(body(&whole).contains("\"name\": \"schedule\""));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn silent_connection_is_reaped_while_metrics_stays_responsive() {
+        let registry = Registry::new();
+        registry.counter("mdn_http_loris_total", &[]).add(1);
+        let handle = ObsServer::new(&registry, &TraceSink::disabled())
+            .with_client_timeout(Duration::from_millis(150))
+            .serve("127.0.0.1:0")
+            .unwrap();
+        let addr = handle.addr();
+
+        // A slow-loris client: connects, sends nothing.
+        let mut silent = TcpStream::connect(addr).unwrap();
+
+        // The scrape plane keeps answering while the loris dangles.
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200"), "{metrics}");
+        assert!(body(&metrics).contains("mdn_http_loris_total 1"));
+
+        // The handler's read deadline fires and the server closes the
+        // socket: our read sees EOF instead of blocking forever.
+        silent
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut buf = [0u8; 16];
+        let n = silent.read(&mut buf).unwrap();
+        assert_eq!(n, 0, "server hung up on the silent connection");
         handle.shutdown();
     }
 

@@ -105,15 +105,27 @@ impl ControlChannel {
     }
 
     /// Controller → switch: enqueue an encoded message.
+    ///
+    /// # Panics
+    /// Panics on an unencodable message (body past
+    /// [`crate::openflow::OF_MAX_BODY`]); the in-memory channel has no
+    /// error path to report it on. Socket transports surface the typed
+    /// [`crate::wire::WireError::Oversize`] instead.
     pub fn send_to_switch(&mut self, msg: &OfMessage) {
-        self.to_switch.push(msg.encode());
+        self.to_switch
+            .push(msg.encode().expect("OF message exceeds u16 frame length"));
         self.stats.frames_to_switch += 1;
         self.obs_frames_to_switch.inc();
     }
 
     /// Switch → controller: enqueue an encoded message.
+    ///
+    /// # Panics
+    /// Panics on an unencodable message, like
+    /// [`ControlChannel::send_to_switch`].
     pub fn send_to_controller(&mut self, msg: &OfMessage) {
-        self.to_controller.push(msg.encode());
+        self.to_controller
+            .push(msg.encode().expect("OF message exceeds u16 frame length"));
         self.stats.frames_to_controller += 1;
         self.obs_frames_to_controller.inc();
     }

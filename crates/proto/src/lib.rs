@@ -12,6 +12,10 @@
 //! * [`wire`] — shared checked big-endian readers/writers;
 //! * [`channel`] — in-memory control channels that preserve the full
 //!   encode→decode path between controller and switches;
+//! * [`controller`] — a TCP OpenFlow controller front-end: a pure-std
+//!   `TcpListener` accept loop, per-connection length-prefixed framing,
+//!   Hello/Echo handshake, and a pluggable [`controller::ControllerApp`]
+//!   trait (with a learning-switch demo app);
 //! * [`faults`] — seeded, deterministic frame-level fault injection
 //!   (drop, corruption, reordering, delay) attachable to any channel;
 //! * [`reliable`] — ARQ machinery over MP (`seq`/`Ack` retransmission
@@ -32,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod controller;
 pub mod faults;
 pub mod mp;
 pub mod openflow;
@@ -39,6 +44,10 @@ pub mod reliable;
 pub mod wire;
 
 pub use channel::{ChannelStats, ControlChannel};
+pub use controller::{
+    ControllerApp, ControllerConfig, ControllerHandle, ControllerServer, ControllerStats,
+    LearningSwitch, OfClient, OfStreamError, PacketInEvent,
+};
 pub use faults::{DirectionFaults, FaultRng, FaultStats, FaultyQueue};
 pub use mp::{MpMessage, MpTone, MpToneError};
 pub use openflow::OfMessage;

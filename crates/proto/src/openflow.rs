@@ -18,6 +18,9 @@ use mdn_net::packet::{FlowKey, Ip, Proto};
 pub const OF_VERSION: u8 = 0x01;
 /// Header size in bytes.
 pub const OF_HEADER_LEN: usize = 8;
+/// Largest body a frame can carry: the header's `u16` total length must
+/// hold `OF_HEADER_LEN + body`, so bodies cap at 65527 bytes.
+pub const OF_MAX_BODY: usize = u16::MAX as usize - OF_HEADER_LEN;
 
 const T_HELLO: u8 = 0;
 const T_ECHO_REQUEST: u8 = 2;
@@ -157,7 +160,14 @@ impl OfMessage {
     }
 
     /// Serialize to a wire frame.
-    pub fn encode(&self) -> Bytes {
+    ///
+    /// Fails with [`WireError::Oversize`] when the body exceeds
+    /// [`OF_MAX_BODY`] — the header's `u16` length field cannot declare
+    /// such a frame, and silently wrapping it would emit a corrupt frame
+    /// whose declared length disagrees with its contents (fatal on a
+    /// byte-stream transport, which trusts the length to find the next
+    /// frame boundary).
+    pub fn encode(&self) -> Result<Bytes, WireError> {
         let mut body = Writer::new();
         let (ty, xid) = match self {
             OfMessage::Hello { xid } => (T_HELLO, *xid),
@@ -237,10 +247,16 @@ impl OfMessage {
             }
         };
         let body = body.finish();
+        if body.len() > OF_MAX_BODY {
+            return Err(WireError::Oversize {
+                len: OF_HEADER_LEN + body.len(),
+                max: u16::MAX as usize,
+            });
+        }
         let total = (OF_HEADER_LEN + body.len()) as u16;
         let mut w = Writer::new();
         w.u8(OF_VERSION).u8(ty).u16(total).u32(xid).raw(&body);
-        w.finish()
+        Ok(w.finish())
     }
 
     /// Parse a wire frame.
@@ -489,14 +505,17 @@ mod tests {
     use super::*;
 
     fn roundtrip(msg: OfMessage) {
-        let decoded = OfMessage::decode(msg.encode()).unwrap();
+        let decoded = OfMessage::decode(msg.encode().unwrap()).unwrap();
         assert_eq!(decoded, msg);
     }
 
     #[test]
     fn hello_roundtrip() {
         roundtrip(OfMessage::Hello { xid: 42 });
-        assert_eq!(OfMessage::Hello { xid: 42 }.encode().len(), OF_HEADER_LEN);
+        assert_eq!(
+            OfMessage::Hello { xid: 42 }.encode().unwrap().len(),
+            OF_HEADER_LEN
+        );
     }
 
     #[test]
@@ -596,6 +615,7 @@ mod tests {
         assert_eq!(
             OfMessage::PortStatsRequest { xid: 0, port: 0 }
                 .encode()
+                .unwrap()
                 .len(),
             10
         );
@@ -607,7 +627,7 @@ mod tests {
             queue_len: 0,
             queue_drops: 0,
         };
-        assert_eq!(reply.encode().len(), 38);
+        assert_eq!(reply.encode().unwrap().len(), 38);
     }
 
     #[test]
@@ -634,8 +654,42 @@ mod tests {
     }
 
     #[test]
+    fn encode_rejects_oversize_bodies_at_the_boundary() {
+        // 65527-byte payload: total length is exactly u16::MAX — legal.
+        let max = OfMessage::EchoRequest {
+            xid: 1,
+            payload: Bytes::from(vec![0xAB; OF_MAX_BODY]),
+        };
+        let frame = max.encode().unwrap();
+        assert_eq!(frame.len(), u16::MAX as usize);
+        assert_eq!(OfMessage::decode(frame).unwrap(), max);
+        // One byte more and the u16 length field would wrap to 0: the
+        // old code emitted that corrupt frame; now it's a typed error.
+        let over = OfMessage::EchoRequest {
+            xid: 1,
+            payload: Bytes::from(vec![0xAB; OF_MAX_BODY + 1]),
+        };
+        assert_eq!(
+            over.encode(),
+            Err(WireError::Oversize {
+                len: u16::MAX as usize + 1,
+                max: u16::MAX as usize,
+            })
+        );
+        // EchoReply shares the variable-length body path.
+        let over_reply = OfMessage::EchoReply {
+            xid: 2,
+            payload: Bytes::from(vec![0; OF_MAX_BODY + 100]),
+        };
+        assert!(matches!(
+            over_reply.encode(),
+            Err(WireError::Oversize { .. })
+        ));
+    }
+
+    #[test]
     fn rejects_wrong_version() {
-        let mut bad = OfMessage::Hello { xid: 0 }.encode().to_vec();
+        let mut bad = OfMessage::Hello { xid: 0 }.encode().unwrap().to_vec();
         bad[0] = 0x04;
         assert_eq!(
             OfMessage::decode(Bytes::from(bad)),
@@ -645,7 +699,7 @@ mod tests {
 
     #[test]
     fn rejects_unknown_type() {
-        let mut bad = OfMessage::Hello { xid: 0 }.encode().to_vec();
+        let mut bad = OfMessage::Hello { xid: 0 }.encode().unwrap().to_vec();
         bad[1] = 0x77;
         assert_eq!(
             OfMessage::decode(Bytes::from(bad)),
@@ -655,7 +709,7 @@ mod tests {
 
     #[test]
     fn rejects_length_lies() {
-        let mut bad = OfMessage::Hello { xid: 0 }.encode().to_vec();
+        let mut bad = OfMessage::Hello { xid: 0 }.encode().unwrap().to_vec();
         bad[3] = 0xFF; // declared length far beyond the body
         let err = OfMessage::decode(Bytes::from(bad)).unwrap_err();
         assert!(matches!(err, WireError::LengthMismatch { .. }));
@@ -670,7 +724,7 @@ mod tests {
             mat: Match::ANY,
             action: Action::SplitByFlow(vec![1]),
         };
-        let mut bytes = msg.encode().to_vec();
+        let mut bytes = msg.encode().unwrap().to_vec();
         // Patch the group count (last 3 bytes are count+port): set count=0
         // and truncate the port, fixing the length field.
         let n = bytes.len();

@@ -35,6 +35,15 @@ pub enum WireError {
         /// Actual length.
         actual: usize,
     },
+    /// A message is too large for its format's length field. Encoding
+    /// refuses to emit the frame — a silently wrapped length would
+    /// desynchronize any byte-stream transport reading it.
+    Oversize {
+        /// The frame length the message would need.
+        len: usize,
+        /// The largest length the format can declare.
+        max: usize,
+    },
     /// A field held a semantically invalid value.
     InvalidField(&'static str),
 }
@@ -55,6 +64,9 @@ impl fmt::Display for WireError {
                     f,
                     "length mismatch: header says {declared}, body is {actual}"
                 )
+            }
+            WireError::Oversize { len, max } => {
+                write!(f, "oversize frame: {len} bytes exceeds the format's {max}")
             }
             WireError::InvalidField(name) => write!(f, "invalid field: {name}"),
         }

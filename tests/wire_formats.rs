@@ -141,7 +141,7 @@ proptest! {
             mat,
             action,
         };
-        prop_assert_eq!(OfMessage::decode(msg.encode()).unwrap(), msg);
+        prop_assert_eq!(OfMessage::decode(msg.encode().unwrap()).unwrap(), msg);
     }
 
     /// PacketIn round-trips for arbitrary flows.
@@ -160,7 +160,7 @@ proptest! {
             total_len,
             reason: if reason { PacketInReason::Action } else { PacketInReason::NoMatch },
         };
-        prop_assert_eq!(OfMessage::decode(msg.encode()).unwrap(), msg);
+        prop_assert_eq!(OfMessage::decode(msg.encode().unwrap()).unwrap(), msg);
     }
 
     /// Arbitrary bytes never panic the OpenFlow decoder.
@@ -263,7 +263,7 @@ fn frame_corpus() -> Vec<Bytes> {
     ];
     mp.iter()
         .map(MpMessage::encode)
-        .chain(of.iter().map(OfMessage::encode))
+        .chain(of.iter().map(|msg| msg.encode().expect("corpus in range")))
         .collect()
 }
 
