@@ -11,7 +11,7 @@ use crate::window::WindowKind;
 use std::time::Duration;
 
 /// STFT parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct StftConfig {
     /// Analysis frame length in samples.
     pub frame_len: usize,
@@ -24,7 +24,34 @@ pub struct StftConfig {
     pub min_fft: Option<usize>,
 }
 
+impl Default for StftConfig {
+    /// [`StftConfig::default_for`] at the testbed's 44.1 kHz.
+    fn default() -> Self {
+        Self::default_for(44_100)
+    }
+}
+
 impl StftConfig {
+    /// Check the invariants the compute path assumes: zero-length frames
+    /// or hops would loop forever (or divide by zero) in
+    /// [`Spectrogram::compute`]. (`min_fft` needs no check — the FFT
+    /// size is the next power of two of `max(frame_len, min_fft)`.)
+    pub fn validate(&self) -> Result<(), mdn_obs::ConfigError> {
+        if self.frame_len == 0 {
+            return Err(mdn_obs::ConfigError::new(
+                "frame_len",
+                "analysis frames must be at least one sample",
+            ));
+        }
+        if self.hop == 0 {
+            return Err(mdn_obs::ConfigError::new(
+                "hop",
+                "a zero hop never advances past the first frame",
+            ));
+        }
+        Ok(())
+    }
+
     /// The pipeline default: ~46 ms frames with 50% overlap at 44.1 kHz —
     /// close to the paper's ~50 ms analysis windows.
     pub fn default_for(sample_rate: u32) -> Self {

@@ -20,6 +20,35 @@ pub enum WindowKind {
     Blackman,
 }
 
+impl serde::Serialize for WindowKind {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(
+            match self {
+                WindowKind::Rectangular => "rectangular",
+                WindowKind::Hann => "hann",
+                WindowKind::Hamming => "hamming",
+                WindowKind::Blackman => "blackman",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl serde::Deserialize for WindowKind {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v.as_str() {
+            Some("rectangular") => Ok(WindowKind::Rectangular),
+            Some("hann") => Ok(WindowKind::Hann),
+            Some("hamming") => Ok(WindowKind::Hamming),
+            Some("blackman") => Ok(WindowKind::Blackman),
+            Some(other) => Err(serde::DeError::new(format!(
+                "unknown window kind `{other}` (expected rectangular|hann|hamming|blackman)"
+            ))),
+            None => Err(serde::DeError::expected("a window-kind string", v)),
+        }
+    }
+}
+
 impl WindowKind {
     /// Generate the window coefficients for `n` points (periodic form,
     /// appropriate for STFT analysis).

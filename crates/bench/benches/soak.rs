@@ -1,466 +1,63 @@
 //! Unified event-loop soak: a leaf-spine hall at 600 switches, minutes
 //! of simulated time, every packet and every tone on one event queue.
 //!
-//! The hall is a 100-cell acoustic deployment (6 switches per cell —
-//! 600 sounding switches) over a 596-leaf / 4-spine fabric (600 network
-//! switches; leaf `l` is rack `l % 6` of cell `l / 6`). Every host runs
-//! CBR traffic cross-fabric through exact-match spine routing with
-//! flow-hash ECMP at the leaves, while each cell sonifies one switch per
-//! 300 ms capture window in rotation. [`UnifiedLoop`] drives all of it —
-//! packet deliveries, tone emissions, window boundaries, self-heal
-//! passes, and fault transitions — from the network's `(time, seq)`
-//! heap, with windowed rendering and scene garbage collection keeping
-//! the acoustic side O(active) across the whole soak.
+//! The experiment itself is now a checked-in scenario spec — this bench
+//! is a thin front-end over `mdn_core::scenario`. The full soak runs
+//! `scenarios/soak_600.json` (100 cells / 600 sounding switches over a
+//! 596-leaf / 4-spine fabric, 120 s horizon, mid-run mic death at cell 7
+//! plus a 50–55 s leaf uplink flap) and writes `BENCH_soak.json` at the
+//! workspace root; `cargo bench -p mdn-bench --bench soak -- --test`
+//! runs `scenarios/soak_smoke.json` instead (102 switches, 2.4 s
+//! horizon, health still asserted) and skips the JSON (CI uses this).
 //!
-//! Mid-soak chaos, both worlds: at 40 s cell 7's microphone dies for
-//! good (its six switches must be evacuated onto a neighbour's spare
-//! slots by the self-heal pass), and at 50–55 s a leaf's uplink bundle
-//! flaps via scheduled [`NetFault`] events. The soak asserts the evacuation
-//! happened, availability stayed high, and the link flap dropped
-//! packets without wedging the fabric.
-//!
-//! Writes `BENCH_soak.json` at the workspace root: events/sec through
-//! the unified queue, per-event heap-dispatch latency percentiles
-//! (from the `mdn_net_dispatch_ns` histograms, interpolated with
-//! `HistogramSnapshot::quantile`), and window-close latency
-//! percentiles.
-//!
-//! `cargo bench -p mdn-bench --bench soak -- --test` runs a scaled-down
-//! smoke pass (102 switches, 2.4 s horizon, health still asserted) and
-//! skips the JSON (CI uses this).
-//!
-//! Observability hooks (either mode):
-//! * `MDN_TRACE_OUT=<path>` — turn causal tracing on and write the
-//!   retained spans as Chrome trace-event JSON (open in Perfetto).
-//! * `MDN_TRACE_CAP=<n>` — trace ring capacity (default 262144 spans).
-//! * `MDN_OBS_ADDR=<ip:port>` — serve `/metrics`, `/snapshot` and
-//!   `/trace?since=` over HTTP for the soak's lifetime (use `:0` for an
-//!   ephemeral port; the bound address is printed), self-scraped once
-//!   at the end as a health check.
-//! * `MDN_OBS_HOLD_SECS=<n>` — keep the server up n seconds after the
-//!   report so a human can `curl` it.
+//! The scenario harness owns the whole lifecycle: spec validation, hall
+//! and fabric construction, the stepping loop, the `expect` gates
+//! (evacuation count/cell/time, drops, availability floor), tracing
+//! artifacts, and the end-of-run self-scrape. Observability hooks work
+//! in either mode via the same env overrides the harness always
+//! honours: `MDN_TRACE_OUT`, `MDN_TRACE_CAP`, `MDN_OBS_ADDR`,
+//! `MDN_OBS_HOLD_SECS` (see `OutputSpec::apply_env_overrides`).
 
-use mdn_acoustics::ambient::AmbientProfile;
-use mdn_acoustics::faults::{SceneFaultPlan, Window};
-use mdn_acoustics::scene::Scene;
-use mdn_acoustics::speaker::Speaker;
-use mdn_core::cells::{CellConfig, CellPlan};
-use mdn_core::eventloop::{Step, UnifiedLoop};
-use mdn_core::selfheal::{SelfHealConfig, SelfHealingController};
-use mdn_net::ftable::{Action, Match, Rule};
-use mdn_net::packet::FlowKey;
-use mdn_net::topology::leaf_spine;
-use mdn_net::traffic::TrafficPattern;
-use mdn_net::{NetFault, Network};
-use mdn_obs::{HistogramSnapshot, ObsServer, Registry};
-use std::time::{Duration, Instant};
+use mdn_core::scenario::{self, ScenarioSpec};
 
-const SR: u32 = 44_100;
-const WIN: Duration = Duration::from_millis(300);
-const MS: fn(u64) -> Duration = Duration::from_millis;
-
-struct SoakParams {
-    cells: usize,
-    spines: usize,
-    leaves: usize,
-    windows: u64,
-    pps: f64,
-    /// Inject the mic death + link flap (timed for the full horizon).
-    chaos: bool,
-}
-
-const FULL: SoakParams = SoakParams {
-    cells: 100, // 600 sounding switches
-    spines: 4,
-    leaves: 596, // 600 network switches
-    windows: 400, // 120 s of simulated time
-    pps: 40.0,
-    chaos: true,
-};
-
-const SMOKE: SoakParams = SoakParams {
-    cells: 17, // 102 sounding switches
-    spines: 2,
-    leaves: 100, // 102 network switches
-    windows: 8, // 2.4 s
-    pps: 50.0,
-    chaos: false,
-};
-
-/// The mic of this cell dies at `FAULT_AT` (full soak only).
-const DEAD_CELL: usize = 7;
-const FAULT_AT: Duration = Duration::from_secs(40);
-const FLAP_DOWN: Duration = Duration::from_secs(50);
-const FLAP_UP: Duration = Duration::from_secs(55);
-/// The leaf whose first uplink flaps.
-const FLAP_LEAF: usize = 10;
-
-struct SoakOutcome {
-    events_total: u64,
-    packets_delivered: u64,
-    packets_dropped: u64,
-    tone_events: u64,
-    emissions_retired: u64,
-    replans: Vec<(Duration, usize)>,
-    availability: f64,
-    wall_seconds: f64,
-}
-
-fn run_soak(p: &SoakParams, registry: &Registry) -> SoakOutcome {
-    let total = WIN * p.windows as u32;
-
-    // ---- Acoustic side: the cell plan and the persistent scene.
-    // At 100 cells the interference bound needs 6 reuse colors, whose top
-    // sub-bands sit above the cheap testbed speaker's 15 kHz ceiling — the
-    // planner rightly refuses that allocation. The soak hall is therefore
-    // fitted with the §8 ultrasound-capable hardware: widen the planner's
-    // speaker band and drive every emission through the matching speaker.
-    let cfg = CellConfig {
-        speaker_band: Speaker::ultrasound_capable().band,
-        ..CellConfig::default()
-    };
-    let plan =
-        CellPlan::plan(p.cells, &[AmbientProfile::office()], cfg).expect("soak cell plan");
-    let slots_per_switch = plan.config().slots_per_switch;
-    let switches_per_cell = plan.config().switches_per_cell;
-    // Initial names, (cell, switch)-indexed; names persist across replans.
-    let names: Vec<Vec<String>> = plan
-        .cells()
-        .iter()
-        .map(|c| c.device_names.clone())
-        .collect();
-
-    let mut scene = Scene::new(SR, AmbientProfile::office());
-    scene.set_ambient_seed(2018);
-    if p.chaos {
-        scene.set_faults(SceneFaultPlan::new(2018).mic_dead_at(
-            plan.cells()[DEAD_CELL].mic_pos,
-            1.0,
-            Window::between(FAULT_AT, total),
-        ));
-    }
-
-    let mut heal = SelfHealingController::with_config(
-        plan,
-        SelfHealConfig {
-            verify_on_replan: false, // replaying real audio per cell is O(hall) — soak skips the proof
-            ..SelfHealConfig::default()
-        },
-    );
-    heal.sharded_mut().set_threads(0); // machine parallelism
-
-    // ---- Network side: the leaf-spine fabric under CBR cross-traffic.
-    let mut net = Network::new();
-    net.attach_obs(registry);
-    let topo = leaf_spine(
-        &mut net,
-        p.spines,
-        p.leaves,
-        1,
-        1_000_000_000,
-        10_000_000_000,
-        Duration::from_micros(5),
-    );
-    let uplinks: Vec<usize> = (0..p.spines).map(|s| topo.uplink_port(s)).collect();
-    for l in 0..p.leaves {
-        // Local host, then flow-hash ECMP up the spines.
-        net.install_rule(
-            topo.leaves[l],
-            Rule {
-                mat: Match::dst(topo.host_ip(l, 0)),
-                priority: 10,
-                action: Action::Forward(0),
-            },
-        );
-        net.install_rule(
-            topo.leaves[l],
-            Rule {
-                mat: Match::ANY,
-                priority: 0,
-                action: Action::SplitByFlow(uplinks.clone()),
-            },
-        );
-        // Exact host routes on every spine (spine port l faces leaf l).
-        for s in 0..p.spines {
-            net.install_rule(
-                topo.spines[s],
-                Rule {
-                    mat: Match::dst(topo.host_ip(l, 0)),
-                    priority: 10,
-                    action: Action::Forward(l),
-                },
-            );
-        }
-    }
-    for l in 0..p.leaves {
-        let dst = (l + p.leaves / 2) % p.leaves;
-        net.attach_generator(
-            topo.host(l, 0),
-            TrafficPattern::Cbr {
-                flow: FlowKey::udp(topo.host_ip(l, 0), 7000, topo.host_ip(dst, 0), 8000),
-                pps: p.pps,
-                size: 1000,
-                start: MS(l as u64 % 25), // stagger within one inter-packet gap
-                stop: total,
-            },
-        );
-    }
-    // The flapped leaf's whole uplink bundle: its one CBR flow hashes onto
-    // a single uplink via SplitByFlow and inbound traffic picks its spine
-    // at the source leaf, so downing one member link would usually carry
-    // no traffic at all. Taking the bundle down isolates the leaf.
-    let flap_links: Vec<_> = (0..p.spines)
-        .map(|s| {
-            net.link_at(topo.leaves[FLAP_LEAF], uplinks[s])
-                .expect("uplink wired")
-        })
-        .collect();
-
-    // ---- One loop over both worlds.
-    let mut lp = UnifiedLoop::new(net, scene, heal, WIN);
-    lp.attach_trace(&registry.trace());
-    // Worst-case propagation across the hall (~6.5 m per cell pitch)
-    // plus margin: the GC bound that keeps windows byte-identical.
-    let hall_m = 6.5 * p.cells as f64 + 10.0;
-    lp.set_retire_delay_bound(Some(Duration::from_secs_f64(hall_m / 343.0 + 0.1)));
-    lp.set_speaker(Some(Speaker::ultrasound_capable()));
-    if p.chaos {
-        for &link in &flap_links {
-            lp.schedule_fault(FLAP_DOWN, NetFault::LinkDown(link));
-            lp.schedule_fault(FLAP_UP, NetFault::LinkUp(link));
-        }
-    }
-
-    // Window t's sonification: each cell sounds switch (t + c) mod
-    // switches_per_cell at slot t mod slots_per_switch, 50 ms into the
-    // window for 150 ms — every switch speaks every 6th window.
-    let schedule_window = |lp: &mut UnifiedLoop, t: u64| -> u64 {
-        let start = WIN * t as u32 + MS(50);
-        for (c, cell_names) in names.iter().enumerate() {
-            let j = (t as usize + c) % switches_per_cell;
-            let slot = t as usize % slots_per_switch;
-            lp.schedule_emission(start, &cell_names[j], slot, MS(150));
-        }
-        names.len() as u64
-    };
-
-    let mut expected_total = schedule_window(&mut lp, 0);
-    let mut heard_total = 0u64;
-    let mut replans = Vec::new();
-    let horizon = total + WIN;
-
-    let window_close_hist = registry.histogram("mdn_soak_window_close_ns", &[]);
-    let wall_start = Instant::now();
-    let mut last_t = wall_start;
-    let mut windows_closed = 0u64;
-    while windows_closed < p.windows {
-        let step = lp.step(horizon);
-        let now = Instant::now();
-        let slice = now - last_t;
-        last_t = now;
-        match step {
-            Step::Window { window, report } => {
-                windows_closed += 1;
-                window_close_hist.record(slice.as_nanos() as u64);
-                heard_total += report.heard.len() as u64;
-                if let Some(cell) = report.replanned {
-                    replans.push((window.end(), cell));
-                }
-                if windows_closed < p.windows {
-                    expected_total += schedule_window(&mut lp, windows_closed);
-                }
-            }
-            Step::App { .. } => unreachable!("no app events scheduled"),
-            Step::Done => panic!("queue ran dry before the soak horizon"),
-        }
-    }
-    let wall_seconds = wall_start.elapsed().as_secs_f64();
-    lp.net().publish_obs(registry);
-
-    let counters = lp.net().counters;
-    assert_eq!(lp.emit_failures(), 0, "every scheduled emission must play");
-    SoakOutcome {
-        events_total: lp.net().events_processed(),
-        packets_delivered: counters.delivered,
-        packets_dropped: counters.queue_drops
-            + counters.policy_drops
-            + counters.link_drops
-            + counters.crash_drops,
-        tone_events: lp.emissions_fired(),
-        emissions_retired: lp.emissions_retired(),
-        replans,
-        availability: heard_total as f64 / expected_total as f64,
-        wall_seconds,
-    }
-}
-
-/// One raw HTTP GET against the soak's own obs server.
-fn scrape(addr: std::net::SocketAddr, target: &str) -> String {
-    use std::io::{Read, Write};
-    let mut stream = std::net::TcpStream::connect(addr).expect("connect obs server");
-    write!(
-        stream,
-        "GET {target} HTTP/1.1\r\nHost: soak\r\nConnection: close\r\n\r\n"
-    )
-    .expect("send scrape request");
-    let mut out = String::new();
-    stream.read_to_string(&mut out).expect("read scrape response");
-    out
-}
+const SMOKE_SPEC: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../scenarios/soak_smoke.json"
+);
+const FULL_SPEC: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios/soak_600.json");
+const BENCH_JSON: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_soak.json");
 
 fn soak_and_report(smoke: bool) {
-    let p = if smoke { SMOKE } else { FULL };
+    let path = if smoke { SMOKE_SPEC } else { FULL_SPEC };
+    let mut spec = ScenarioSpec::load(path).expect("load soak scenario spec");
+    // The bench owns the committed artifact; the standalone scenario CLI
+    // writes its copy under results/ instead.
+    spec.output.bench_json = (!smoke).then(|| BENCH_JSON.to_string());
+    spec.output.apply_env_overrides();
 
-    let trace_out = std::env::var("MDN_TRACE_OUT").ok();
-    let obs_addr = std::env::var("MDN_OBS_ADDR").ok();
-    let tracing_on = trace_out.is_some() || obs_addr.is_some();
-    let registry = if tracing_on {
-        let cap = std::env::var("MDN_TRACE_CAP")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(1 << 18);
-        Registry::with_trace(cap)
-    } else {
-        Registry::new()
-    };
-    // Bind before the soak so a human can watch the run live.
-    let server = obs_addr.map(|addr| {
-        let handle = ObsServer::new(&registry, &registry.trace())
-            .serve(addr.as_str())
-            .expect("bind obs server");
-        eprintln!("obs server on http://{}/metrics", handle.addr());
-        handle
-    });
+    let run = scenario::execute(&spec).expect("soak scenario");
+    let out = &run.outcome;
 
-    let out = run_soak(&p, &registry);
-
-    // Health gates, both modes: the fabric carried traffic, every window
-    // decoded most of its sonification, the queue saw real volume.
-    assert!(out.packets_delivered > 1000, "fabric barely carried traffic");
-    assert_eq!(out.tone_events, p.cells as u64 * p.windows);
-    assert!(
-        out.availability > 0.80,
-        "availability {:.3} too low",
-        out.availability
-    );
+    // Health gates on top of the spec's own `expect` block: the queue saw
+    // real volume beyond the packet count, and every cell sonified every
+    // window.
     assert!(out.events_total > out.packets_delivered);
-
-    // Tracing artifacts and the live-scrape health check run in both
-    // modes — CI's obs-trace-smoke exercises them on the smoke pass.
-    if let Some(path) = &trace_out {
-        let sink = registry.trace();
-        std::fs::write(path, sink.to_chrome_json()).expect("write trace JSON");
-        eprintln!(
-            "wrote {} trace spans ({} dropped) to {path}",
-            sink.len(),
-            sink.dropped()
-        );
-    }
-    if let Some(handle) = server {
-        let metrics = scrape(handle.addr(), "/metrics");
-        assert!(metrics.starts_with("HTTP/1.1 200"), "metrics scrape failed");
-        assert!(
-            metrics.contains("mdn_net_events_processed"),
-            "published network gauges missing from /metrics"
-        );
-        let trace = scrape(handle.addr(), "/trace?since=0");
-        assert!(trace.starts_with("HTTP/1.1 200"), "trace scrape failed");
-        assert!(trace.contains("\"traceEvents\""), "trace scrape not Chrome JSON");
-        eprintln!("self-scrape OK: /metrics and /trace served");
-        if let Ok(hold) = std::env::var("MDN_OBS_HOLD_SECS") {
-            if let Ok(secs) = hold.parse::<u64>() {
-                eprintln!("holding obs server for {secs}s — curl it now");
-                std::thread::sleep(Duration::from_secs(secs));
-            }
-        }
-        handle.shutdown();
-    }
+    assert_eq!(
+        out.tone_events,
+        spec.hall.cells as u64 * spec.windows,
+        "rotation must sound one switch per cell per window"
+    );
 
     if smoke {
         eprintln!(
             "soak smoke: {} switches, {} windows, {} packets, {} tones, availability {:.3}",
-            p.leaves + p.spines,
-            p.windows,
+            spec.traffic.leaves + spec.traffic.spines,
+            spec.windows,
             out.packets_delivered,
             out.tone_events,
             out.availability
         );
-        return;
     }
-
-    // Full-soak chaos gates: the starved cell was evacuated after the
-    // mic death, and the link flap dropped packets without wedging.
-    assert_eq!(out.replans.len(), 1, "expected exactly one evacuation");
-    assert_eq!(out.replans[0].1, DEAD_CELL, "evacuated the wrong cell");
-    assert!(out.replans[0].0 > FAULT_AT, "evacuated before the fault");
-    assert!(out.packets_dropped > 0, "link flap dropped nothing");
-
-    // Latency percentiles come straight from the log₂ histograms the run
-    // filled — `quantile` interpolates inside the bucket the rank lands
-    // in, and the top edge clamps to the recorded max.
-    let snap = registry.snapshot();
-    let hist = |name: &str| {
-        snap.histograms.get(name).cloned().unwrap_or(HistogramSnapshot {
-            count: 0,
-            sum: 0,
-            max: 0,
-            mean: 0.0,
-            buckets: Vec::new(),
-        })
-    };
-    let dispatch = hist("mdn_net_dispatch_ns{kind=\"all\"}");
-    let window_close = hist("mdn_soak_window_close_ns");
-    assert!(dispatch.count > 0, "dispatch histogram never recorded");
-    let us = |h: &HistogramSnapshot, q: f64| h.quantile(q) / 1e3;
-    let ms = |h: &HistogramSnapshot, q: f64| h.quantile(q) / 1e6;
-    let kind_summary = |kind: &str| {
-        let h = hist(&format!("mdn_net_dispatch_ns{{kind=\"{kind}\"}}"));
-        serde_json::json!({"count": h.count, "p50": us(&h, 0.50), "p99": us(&h, 0.99)})
-    };
-
-    let summary = serde_json::json!({
-        "bench": "soak",
-        "unit": "events/sec through the unified queue; latency percentiles in us/ms",
-        "sample_rate": SR,
-        "window_ms": WIN.as_millis() as u64,
-        "windows": p.windows,
-        "sim_seconds": (WIN * p.windows as u32).as_secs_f64(),
-        "cells": p.cells,
-        "sounding_switches": p.cells * 6,
-        "network_switches": p.leaves + p.spines,
-        "hosts": p.leaves,
-        "events_total": out.events_total,
-        "packets_delivered": out.packets_delivered,
-        "packets_dropped": out.packets_dropped,
-        "tone_events": out.tone_events,
-        "emissions_retired": out.emissions_retired,
-        "replans": out.replans.len() as u64,
-        "replan_at_s": out.replans[0].0.as_secs_f64(),
-        "availability": out.availability,
-        "wall_seconds": out.wall_seconds,
-        "events_per_sec": out.events_total as f64 / out.wall_seconds,
-        "per_event_latency_us": {
-            "p50": us(&dispatch, 0.50),
-            "p95": us(&dispatch, 0.95),
-            "p99": us(&dispatch, 0.99),
-            "max": dispatch.max as f64 / 1e3,
-        },
-        "dispatch_kind_us": {
-            "deliver": kind_summary("deliver"),
-            "generate": kind_summary("generate"),
-            "port_free": kind_summary("port_free"),
-        },
-        "window_close_ms": {
-            "p50": ms(&window_close, 0.50),
-            "p95": ms(&window_close, 0.95),
-            "p99": ms(&window_close, 0.99),
-            "max": window_close.max as f64 / 1e6,
-        },
-    });
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_soak.json");
-    std::fs::write(path, serde_json::to_string_pretty(&summary).unwrap() + "\n")
-        .expect("write BENCH_soak.json");
-    eprintln!("wrote {path}");
 }
 
 fn main() {

@@ -33,6 +33,51 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     .expect("serde stub: generated impl parses")
 }
 
+/// Derive `serde::Deserialize` for a named-field struct.
+///
+/// Semantics chosen for spec-file ergonomics: the generated impl starts
+/// from `Default::default()` (the struct must implement `Default`) and
+/// overlays whichever keys are present, so sparse inputs stay sparse;
+/// any key that is not a field is rejected with
+/// `serde::DeError::unknown_field`, so typos fail loudly. Nested errors
+/// carry the field name on their path.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let name = struct_name(&tokens).expect("serde stub: #[derive(Deserialize)] needs a struct");
+    let fields = named_fields(&tokens)
+        .unwrap_or_else(|| panic!("serde stub: struct {name} must have named fields"));
+    let arms: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "\"{f}\" => out.{f} = serde::Deserialize::from_value(val)\
+                     .map_err(|e| e.at(\"{f}\"))?,"
+            )
+        })
+        .collect();
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(v: &serde::Value) -> ::std::result::Result<Self, serde::DeError> {{\n\
+                 let fields = match v {{\n\
+                     serde::Value::Object(fields) => fields,\n\
+                     other => return Err(serde::DeError::expected(\"an object\", other)),\n\
+                 }};\n\
+                 let mut out = <{name} as ::std::default::Default>::default();\n\
+                 for (k, val) in fields.iter() {{\n\
+                     match k.as_str() {{\n\
+                         {arms}\n\
+                         other => return Err(serde::DeError::unknown_field(other, \"{name}\")),\n\
+                     }}\n\
+                 }}\n\
+                 Ok(out)\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde stub: generated impl parses")
+}
+
 /// The identifier following the `struct` keyword.
 fn struct_name(tokens: &[TokenTree]) -> Option<String> {
     let mut saw_struct = false;

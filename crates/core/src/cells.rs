@@ -74,7 +74,7 @@ const MIGRATION_RESPONSE_MARGIN: f64 = 2.0;
 /// pitched 6.5 m apart along the row, sources at the Music Protocol's
 /// 65 dB SPL, and a raised per-cell magnitude floor (4×10⁻³ linear) that
 /// foreign reuse must stay under with a 1.5× margin.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct CellConfig {
     /// Switches in each cell's rack row.
     pub switches_per_cell: usize,

@@ -34,7 +34,7 @@ use std::time::Duration;
 const MIN_FRAMES_PER_THREAD: usize = 16;
 
 /// Detection parameters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct DetectorConfig {
     /// Analysis frame length (the paper: ≈ 50 ms).
     pub frame: Duration,
@@ -76,6 +76,50 @@ impl Default for DetectorConfig {
             local_max_radius_hz: 50.0,
             threads: 0,
         }
+    }
+}
+
+impl DetectorConfig {
+    /// Check the invariants the detection hot path assumes instead of
+    /// letting a degenerate value panic (or spin) frames deep into a run.
+    pub fn validate(&self) -> Result<(), mdn_obs::ConfigError> {
+        if self.frame == Duration::ZERO {
+            return Err(mdn_obs::ConfigError::new(
+                "frame",
+                "analysis frames must be longer than zero",
+            ));
+        }
+        if self.hop == Duration::ZERO {
+            return Err(mdn_obs::ConfigError::new(
+                "hop",
+                "a zero hop never advances past the first frame",
+            ));
+        }
+        if self.min_magnitude.is_nan() || self.min_magnitude < 0.0 {
+            return Err(mdn_obs::ConfigError::new(
+                "min_magnitude",
+                format!("magnitude floor must be finite and >= 0, got {}", self.min_magnitude),
+            ));
+        }
+        if self.min_snr.is_nan() || self.min_snr < 0.0 {
+            return Err(mdn_obs::ConfigError::new(
+                "min_snr",
+                format!("SNR gate must be finite and >= 0, got {}", self.min_snr),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.frame_rel_floor) {
+            return Err(mdn_obs::ConfigError::new(
+                "frame_rel_floor",
+                format!("per-frame relative gate is a fraction in [0, 1], got {}", self.frame_rel_floor),
+            ));
+        }
+        if self.local_max_radius_hz.is_nan() || self.local_max_radius_hz < 0.0 {
+            return Err(mdn_obs::ConfigError::new(
+                "local_max_radius_hz",
+                format!("suppression radius must be finite and >= 0, got {}", self.local_max_radius_hz),
+            ));
+        }
+        Ok(())
     }
 }
 

@@ -188,7 +188,24 @@ impl UnifiedLoop {
         heal: SelfHealingController,
         window_len: Duration,
     ) -> Self {
-        assert!(window_len > Duration::ZERO, "window length must be positive");
+        Self::try_new(net, scene, heal, window_len).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible construction: a degenerate window length comes back as a
+    /// typed [`mdn_obs::ConfigError`] instead of a panic — the entry
+    /// point scenario lowering uses.
+    pub fn try_new(
+        net: Network,
+        scene: Scene,
+        heal: SelfHealingController,
+        window_len: Duration,
+    ) -> Result<Self, mdn_obs::ConfigError> {
+        if window_len == Duration::ZERO {
+            return Err(mdn_obs::ConfigError::new(
+                "window_len",
+                "capture windows must be longer than zero",
+            ));
+        }
         let window_start = net.now();
         let mut lp = Self {
             net,
@@ -208,7 +225,7 @@ impl UnifiedLoop {
             trace_seq: BTreeMap::new(),
         };
         lp.schedule_control(window_start + window_len, ControlEvent::WindowBoundary);
-        lp
+        Ok(lp)
     }
 
     /// Enable scene garbage collection: after each heal pass, retire

@@ -54,7 +54,7 @@ pub enum ControlPath {
 }
 
 /// Scoring parameters for the ladder.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct HealthConfig {
     /// Score at or above which a device is `Degraded`.
     pub degraded_at: f64,
@@ -102,6 +102,42 @@ impl Default for HealthConfig {
             acoustic_dead_at: 4.0,
             timeline_capacity: 64,
         }
+    }
+}
+
+impl HealthConfig {
+    /// Check the ladder's ordering invariants: an out-of-range decay
+    /// grows scores without bound, and inverted thresholds make the
+    /// `Degraded` rung unreachable.
+    pub fn validate(&self) -> Result<(), mdn_obs::ConfigError> {
+        if !(0.0..=1.0).contains(&self.decay) {
+            return Err(mdn_obs::ConfigError::new(
+                "decay",
+                format!("per-tick decay is a fraction in [0, 1], got {}", self.decay),
+            ));
+        }
+        if self.degraded_at.is_nan() || self.degraded_at <= 0.0 {
+            return Err(mdn_obs::ConfigError::new(
+                "degraded_at",
+                format!("the Degraded threshold must be positive, got {}", self.degraded_at),
+            ));
+        }
+        if self.quarantine_at < self.degraded_at {
+            return Err(mdn_obs::ConfigError::new(
+                "quarantine_at",
+                format!(
+                    "Quarantined threshold {} is below Degraded threshold {}",
+                    self.quarantine_at, self.degraded_at
+                ),
+            ));
+        }
+        if self.acoustic_dead_at.is_nan() || self.acoustic_dead_at <= 0.0 {
+            return Err(mdn_obs::ConfigError::new(
+                "acoustic_dead_at",
+                format!("the acoustic-death threshold must be positive, got {}", self.acoustic_dead_at),
+            ));
+        }
+        Ok(())
     }
 }
 

@@ -74,6 +74,7 @@ pub mod health;
 pub mod live;
 pub mod ofbridge;
 pub mod relay;
+pub mod scenario;
 pub mod selfheal;
 pub mod sequence;
 

@@ -32,7 +32,7 @@ use std::collections::BTreeSet;
 use std::time::Duration;
 
 /// Tuning for the streaming ambient tracker.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct AmbientEstimatorConfig {
     /// EWMA weight of a new non-tone frame (0 < alpha ≤ 1). Smaller is
     /// smoother; larger tracks drift faster.
@@ -58,6 +58,34 @@ impl Default for AmbientEstimatorConfig {
     }
 }
 
+impl AmbientEstimatorConfig {
+    /// Check the EWMA invariants without panicking: `alpha` outside
+    /// (0, 1] either freezes the floor forever or overshoots it, and a
+    /// non-positive tone-guard ratio marks every frame tone-suspect,
+    /// starving the estimate.
+    pub fn validate(&self) -> Result<(), mdn_obs::ConfigError> {
+        if !(self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err(mdn_obs::ConfigError::new(
+                "alpha",
+                format!("EWMA weight must be in (0, 1], got {}", self.alpha),
+            ));
+        }
+        if self.tone_floor_ratio.is_nan() || self.tone_floor_ratio <= 0.0 {
+            return Err(mdn_obs::ConfigError::new(
+                "tone_floor_ratio",
+                format!("tone guard ratio must be positive, got {}", self.tone_floor_ratio),
+            ));
+        }
+        if self.tone_median_ratio.is_nan() || self.tone_median_ratio <= 0.0 {
+            return Err(mdn_obs::ConfigError::new(
+                "tone_median_ratio",
+                format!("tone guard ratio must be positive, got {}", self.tone_median_ratio),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Streaming per-candidate noise-floor estimator: an EWMA over frames
 /// that don't look like tones.
 #[derive(Debug, Clone)]
@@ -73,17 +101,23 @@ pub struct AmbientEstimator {
 impl AmbientEstimator {
     /// An estimator for `candidates` detector slots.
     pub fn new(candidates: usize, cfg: AmbientEstimatorConfig) -> Self {
-        assert!(
-            cfg.alpha > 0.0 && cfg.alpha <= 1.0,
-            "alpha must be in (0, 1], got {}",
-            cfg.alpha
-        );
-        Self {
+        Self::try_new(candidates, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible construction: a rejected config comes back as a typed
+    /// [`mdn_obs::ConfigError`] naming the field instead of a panic —
+    /// the entry point scenario lowering uses.
+    pub fn try_new(
+        candidates: usize,
+        cfg: AmbientEstimatorConfig,
+    ) -> Result<Self, mdn_obs::ConfigError> {
+        cfg.validate()?;
+        Ok(Self {
             cfg,
             floors: vec![-1.0; candidates],
             frames_seen: 0,
             updates_skipped: 0,
-        }
+        })
     }
 
     /// Number of candidates tracked.
@@ -148,7 +182,7 @@ impl AmbientEstimator {
 }
 
 /// Tuning for the self-healing loop.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SelfHealConfig {
     /// The ambient tracker's parameters.
     pub estimator: AmbientEstimatorConfig,
@@ -170,6 +204,26 @@ impl Default for SelfHealConfig {
             verify_on_replan: true,
             verify_sample_rate: 44_100,
         }
+    }
+}
+
+impl SelfHealConfig {
+    /// Check this config and every nested one, prefixing nested fields
+    /// with their section (`estimator.alpha`, `health.decay`).
+    pub fn validate(&self) -> Result<(), mdn_obs::ConfigError> {
+        self.estimator.validate().map_err(|e| {
+            mdn_obs::ConfigError::new("estimator", format!("{}: {}", e.field, e.reason))
+        })?;
+        self.health.validate().map_err(|e| {
+            mdn_obs::ConfigError::new("health", format!("{}: {}", e.field, e.reason))
+        })?;
+        if self.verify_sample_rate == 0 {
+            return Err(mdn_obs::ConfigError::new(
+                "verify_sample_rate",
+                "verification cannot render audio at 0 Hz",
+            ));
+        }
+        Ok(())
     }
 }
 

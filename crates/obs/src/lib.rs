@@ -50,6 +50,7 @@
 
 #![warn(missing_docs)]
 
+pub mod config;
 pub mod export;
 pub mod http;
 pub mod journal;
@@ -57,6 +58,7 @@ pub mod registry;
 pub mod span;
 pub mod trace;
 
+pub use config::ConfigError;
 pub use export::{HistogramSnapshot, Snapshot};
 pub use http::{ObsServer, ObsServerHandle};
 pub use journal::{Journal, JournalEvent};

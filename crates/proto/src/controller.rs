@@ -160,7 +160,7 @@ pub fn write_message(w: &mut impl Write, msg: &OfMessage) -> Result<(), OfStream
 }
 
 /// Tuning knobs for [`ControllerServer`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ControllerConfig {
     /// Per-read deadline on accepted connections. One silent period
     /// triggers an EchoRequest probe; a second reaps the connection —
@@ -177,6 +177,27 @@ impl Default for ControllerConfig {
             idle_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
         }
+    }
+}
+
+impl ControllerConfig {
+    /// Check the socket-deadline invariants: `set_read_timeout` /
+    /// `set_write_timeout` reject a zero `Duration`, so a zero knob
+    /// would only surface as an I/O error deep inside the accept loop.
+    pub fn validate(&self) -> Result<(), mdn_obs::ConfigError> {
+        if self.idle_timeout == Duration::ZERO {
+            return Err(mdn_obs::ConfigError::new(
+                "idle_timeout",
+                "socket read deadlines must be positive",
+            ));
+        }
+        if self.write_timeout == Duration::ZERO {
+            return Err(mdn_obs::ConfigError::new(
+                "write_timeout",
+                "socket write deadlines must be positive",
+            ));
+        }
+        Ok(())
     }
 }
 

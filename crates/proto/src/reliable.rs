@@ -37,7 +37,7 @@ struct MpObs {
 
 /// Retransmission policy: exponential backoff from `base` capped at
 /// `cap`, giving up after `max_retries` retransmissions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct BackoffConfig {
     /// Delay before the first retransmission.
     pub base: Duration,
@@ -58,6 +58,25 @@ impl Default for BackoffConfig {
 }
 
 impl BackoffConfig {
+    /// Check the retry-schedule invariants: a zero `base` would collapse
+    /// every retransmission onto the original send, and a `cap` below
+    /// `base` makes the very first delay violate its own bound.
+    pub fn validate(&self) -> Result<(), mdn_obs::ConfigError> {
+        if self.base == std::time::Duration::ZERO {
+            return Err(mdn_obs::ConfigError::new(
+                "base",
+                "the first retransmission delay must be positive",
+            ));
+        }
+        if self.cap < self.base {
+            return Err(mdn_obs::ConfigError::new(
+                "cap",
+                format!("cap {:?} is below base {:?}", self.cap, self.base),
+            ));
+        }
+        Ok(())
+    }
+
     /// Delay scheduled after attempt number `attempt` (0 = the initial
     /// send): `min(base · 2^attempt, cap)`.
     pub fn delay(&self, attempt: u32) -> Duration {

@@ -8,6 +8,13 @@
 //! curl "http://<addr>/trace?since=0"  # Chrome trace-event JSON
 //! ```
 //!
+//! The hall is the `small_hall` scenario preset — two quiet cells of
+//! 2×3 switches, every switch sounding every window — run end-to-end by
+//! the scenario harness, with this example keeping the serve-after-run
+//! lifecycle (the harness's own `obs_addr` output serves *during* a
+//! run; CI's obs-trace-smoke job wants a quiet server it can curl
+//! afterwards).
+//!
 //! Environment:
 //!
 //! * `MDN_OBS_ADDR` — bind address (default `127.0.0.1:0`; the chosen
@@ -15,61 +22,21 @@
 //! * `MDN_OBS_SERVE_SECS` — how long to keep serving before a clean
 //!   shutdown (default 2; the CI obs-trace-smoke job curls within this).
 
-use mdn_acoustics::ambient::AmbientProfile;
-use mdn_acoustics::scene::Scene;
-use mdn_core::cells::{CellConfig, CellPlan};
-use mdn_core::eventloop::{Step, UnifiedLoop};
-use mdn_core::selfheal::SelfHealingController;
-use mdn_net::Network;
+use mdn_core::scenario::{self, ScenarioSpec};
 use mdn_obs::{ObsServer, Registry};
 use std::time::Duration;
-
-const SR: u32 = 44_100;
-const WIN: Duration = Duration::from_millis(300);
-const WINDOWS: u64 = 4;
-const MS: fn(u64) -> Duration = Duration::from_millis;
 
 fn main() {
     let registry = Registry::with_trace(1 << 14);
 
     // A two-cell hall, every switch sounding every window, fully traced.
-    let plan = CellPlan::plan(
-        2,
-        &[AmbientProfile::quiet()],
-        CellConfig {
-            switches_per_cell: 2,
-            slots_per_switch: 3,
-            ..CellConfig::default()
-        },
-    )
-    .unwrap();
-    let names: Vec<String> = plan
-        .cells()
-        .iter()
-        .flat_map(|c| c.device_names.clone())
-        .collect();
-    let mut scene = Scene::new(SR, AmbientProfile::quiet());
-    scene.set_ambient_seed(2018);
-    scene.attach_obs(&registry);
-    let heal = SelfHealingController::new(plan);
-
-    let mut net = Network::new();
-    net.attach_obs(&registry);
-    let mut lp = UnifiedLoop::new(net, scene, heal, WIN);
-    lp.attach_trace(&registry.trace());
-    for w in 0..WINDOWS {
-        let at = WIN * w as u32 + MS(50);
-        for name in &names {
-            lp.schedule_emission(at, name, w as usize % 3, MS(150));
-        }
-    }
-    let mut heard = 0usize;
-    while let Step::Window { report, .. } = lp.step(WIN * (WINDOWS + 1) as u32) {
-        heard += report.heard.len();
-    }
-    lp.net().publish_obs(&registry);
+    let mut spec = ScenarioSpec::small_hall(2, 2, 3, "quiet");
+    spec.name = "obs_serve".into();
+    let outcome = scenario::run(&spec, &registry).expect("obs_serve scenario");
     println!(
-        "ran {WINDOWS} windows: {heard} tones heard, {} trace spans recorded",
+        "ran {} windows: {} tones heard, {} trace spans recorded",
+        spec.windows,
+        outcome.heard_emissions,
         registry.trace().total()
     );
 

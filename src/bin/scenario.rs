@@ -1,0 +1,121 @@
+//! The scenario harness CLI: run checked-in experiment specs, or fuzz
+//! random ones.
+//!
+//! ```text
+//! cargo run --release --bin scenario -- scenarios/baseline.json
+//! cargo run --release --bin scenario -- --fuzz 25 --seed 7
+//! cargo run --release --bin scenario -- --validate scenarios/*.json
+//! ```
+//!
+//! For each spec file: parse (unknown keys are errors), overlay the
+//! legacy env knobs (`MDN_TRACE_OUT`, `MDN_TRACE_CAP`, `MDN_OBS_ADDR`,
+//! `MDN_OBS_HOLD_SECS`), run the experiment, enforce its `expect`
+//! block, and print the BENCH-shaped summary JSON to stdout (one
+//! pretty-printed object per spec; diagnostics go to stderr). With
+//! `--validate`, stop after validation and planning — no run.
+//!
+//! `--fuzz N` generates N random small-hall scenarios from `--seed`
+//! (default 7) and asserts the standing invariants on each: the
+//! event-driven run equals the fixed-tick batch reference
+//! byte-for-byte, shard thread counts 0/1/4 all agree, and the cell
+//! plan survives `verify_reuse` — see `mdn_core::scenario::fuzz`.
+
+use mdn_core::scenario::{self, ScenarioBuilder, ScenarioSpec};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: scenario [--validate] <spec.json>... | scenario --fuzz N [--seed S]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fuzz_cases: Option<u32> = None;
+    let mut seed: u64 = 7;
+    let mut validate_only = false;
+    let mut specs: Vec<String> = Vec::new();
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fuzz" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => fuzz_cases = Some(n),
+                None => return usage("--fuzz needs a case count"),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => seed = s,
+                None => return usage("--seed needs a u64"),
+            },
+            "--validate" => validate_only = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag `{other}`"));
+            }
+            path => specs.push(path.to_string()),
+        }
+    }
+
+    if let Some(cases) = fuzz_cases {
+        return match scenario::fuzz(cases, seed) {
+            Ok(report) => {
+                println!(
+                    "FUZZ=ok cases={} windows_checked={} emissions_checked={} seed={seed}",
+                    report.cases, report.windows_checked, report.emissions_checked
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("FUZZ=fail seed={seed}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if specs.is_empty() {
+        return usage("no spec files given");
+    }
+    for path in &specs {
+        let spec = match ScenarioSpec::load(path) {
+            Ok(s) => s,
+            Err(e) => return fail(path, &e.to_string()),
+        };
+        if validate_only {
+            if let Err(e) = ScenarioBuilder::new(&spec) {
+                return fail(path, &e.to_string());
+            }
+            eprintln!("SCENARIO={} VALID path={path}", spec.name);
+            continue;
+        }
+        let mut spec = spec;
+        spec.output.apply_env_overrides();
+        eprintln!("SCENARIO={} RUN path={path}", spec.name);
+        match scenario::execute(&spec) {
+            Ok(run) => {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&run.summary)
+                        .expect("summary serialization is infallible")
+                );
+                eprintln!(
+                    "SCENARIO={} OK availability={:.4} events={} wall={:.1}s",
+                    spec.name,
+                    run.outcome.availability,
+                    run.outcome.events_total,
+                    run.outcome.wall_seconds
+                );
+            }
+            Err(e) => return fail(path, &e.to_string()),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(why: &str) -> ExitCode {
+    eprintln!("scenario: {why}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn fail(path: &str, err: &str) -> ExitCode {
+    eprintln!("SCENARIO=fail path={path}: {err}");
+    ExitCode::FAILURE
+}

@@ -3,76 +3,42 @@
 //!
 //! The batch loop pre-builds each window's emissions and calls
 //! [`SelfHealingController::tick`] from an outer `for` loop; the
-//! [`UnifiedLoop`] schedules the same emissions as heap events on the
+//! event path schedules the same emissions as heap events on the
 //! network's `(time, seq)` queue — interleaved with live packet traffic
 //! — and lets window boundaries and heal passes fire as events. For
 //! random seeds, window lengths, emission schedules, acoustic fault
 //! scripts, and thread counts, both must decode the *same bytes*: equal
-//! [`ShardEvent`] streams, equal heard/missed sets, equal replan
-//! decisions.
+//! [`WindowReport`] streams — events, heard/missed sets, replan
+//! decisions and recoveries all included.
+//!
+//! Both paths are driven through the scenario harness: proptest draws a
+//! [`ScenarioSpec`] (a `small_hall` preset with an explicit emission
+//! schedule, a pair network under CBR, and one of four fault scripts),
+//! and the property holds `mdn_core::scenario::run` equal to
+//! `mdn_core::scenario::run_batch` on it. The seeded fuzz harness
+//! (`scenario --fuzz`) checks the same invariant over its own spec
+//! stream; this suite keeps proptest shrinking on top.
 //!
 //! Why this holds (and what would break it): a rendered sample can only
 //! depend on emissions whose delayed signal has already started, so
 //! adding emissions at event-fire time instead of up front cannot
 //! change any window's samples — *provided the scene receives them in
 //! the same order* (f32 mixing is order-sensitive). The loop's heap
-//! breaks time ties by schedule order, so scheduling each window's
-//! emissions in time-sorted order reproduces the batch insertion order
-//! exactly. Any seam bug — an event at a boundary counted in the wrong
-//! window, a capture that doesn't match `[from, from+len)` — shows up
-//! here as a byte diff.
+//! breaks time ties by schedule order, and the runner schedules each
+//! window's emissions in time-sorted order, reproducing the batch
+//! insertion order exactly. Any seam bug — an event at a boundary
+//! counted in the wrong window, a capture that doesn't match
+//! `[from, from+len)` — shows up here as a byte diff.
+//!
+//! [`SelfHealingController::tick`]: mdn_core::selfheal::SelfHealingController::tick
+//! [`WindowReport`]: mdn_core::scenario::WindowReport
+//! [`ScenarioSpec`]: mdn_core::scenario::ScenarioSpec
 
-use mdn_acoustics::ambient::AmbientProfile;
-use mdn_acoustics::faults::SceneFaultPlan;
-use mdn_acoustics::scene::Scene;
-use mdn_audio::signal::Window;
-use mdn_core::cells::{CellConfig, CellPlan};
-use mdn_core::controller::ShardEvent;
-use mdn_core::eventloop::{Step, UnifiedLoop};
-use mdn_core::selfheal::{SelfHealConfig, SelfHealingController, TickReport};
-use mdn_net::ftable::{Action, Match, Rule};
-use mdn_net::packet::{FlowKey, Ip};
-use mdn_net::traffic::TrafficPattern;
-use mdn_net::Network;
+use mdn_core::scenario::{self, EmissionSpec, EmitSpec, FaultSpec, ScenarioSpec, TrafficSpec};
+use mdn_obs::Registry;
 use proptest::prelude::*;
-use std::time::Duration;
 
-const SR: u32 = 44_100;
 const WINDOWS: u64 = 3;
-
-/// Everything a window's tick reports, in comparable form.
-#[derive(Debug, Clone, PartialEq)]
-struct WindowOutcome {
-    events: Vec<ShardEvent>,
-    heard: Vec<String>,
-    missed: Vec<String>,
-    replanned: Option<usize>,
-    recovered: Vec<String>,
-}
-
-impl From<TickReport> for WindowOutcome {
-    fn from(r: TickReport) -> Self {
-        Self {
-            events: r.events,
-            heard: r.heard,
-            missed: r.missed,
-            replanned: r.replanned,
-            recovered: r.recovered,
-        }
-    }
-}
-
-/// One scheduled emission: which window, where inside it (permil of the
-/// window length, so 0 lands exactly on a boundary), which device of
-/// the flattened initial name list, which set-local slot, how long.
-#[derive(Debug, Clone)]
-struct Emit {
-    window: u64,
-    permil: u64,
-    dev: usize,
-    slot: usize,
-    dur_ms: u64,
-}
 
 /// A seeded mid-run acoustic fault script.
 #[derive(Debug, Clone, Copy)]
@@ -86,181 +52,52 @@ enum FaultKind {
     MicDead,
 }
 
-fn small_plan() -> CellPlan {
-    CellPlan::plan(
-        2,
-        &[AmbientProfile::office()],
-        CellConfig {
-            switches_per_cell: 2,
-            slots_per_switch: 3,
-            ..CellConfig::default()
-        },
-    )
-    .expect("2-cell plan")
-}
-
-fn device_names(plan: &CellPlan) -> Vec<String> {
-    plan.cells()
-        .iter()
-        .flat_map(|c| c.device_names.clone())
-        .collect()
-}
-
-fn fault_plan(kind: FaultKind, seed: u64, plan: &CellPlan, names: &[String], win: Duration) -> SceneFaultPlan {
-    let base = SceneFaultPlan::new(seed);
-    let total = win * WINDOWS as u32;
-    match kind {
-        FaultKind::None => base,
-        FaultKind::SpeakerDropout => base.speaker_dropout(
-            names[0].clone(),
-            mdn_acoustics::faults::Window::between(win, total),
-        ),
-        FaultKind::NoiseBurst => base.noise_burst(
-            mdn_acoustics::faults::Window::between(win, win * 2),
-            60.0,
-        ),
-        FaultKind::MicDead => base.mic_dead_at(
-            plan.cells()[1].mic_pos,
-            1.0,
-            mdn_acoustics::faults::Window::between(win, total),
-        ),
-    }
-}
-
-fn build_scene(seed: u64, faults: SceneFaultPlan) -> Scene {
-    let mut scene = Scene::new(SR, AmbientProfile::office());
-    scene.set_ambient_seed(seed);
-    scene.set_faults(faults);
-    scene
-}
-
-fn build_heal(plan: CellPlan, threads: usize) -> SelfHealingController {
-    let mut heal = SelfHealingController::with_config(
-        plan,
-        SelfHealConfig {
-            verify_on_replan: false,
-            ..SelfHealConfig::default()
-        },
-    );
-    heal.sharded_mut().set_threads(threads);
-    heal
-}
-
-fn emit_time(win: Duration, e: &Emit) -> Duration {
-    win * e.window as u32 + win.mul_f64(e.permil as f64 / 1000.0)
-}
-
-/// The fixed-tick reference: pre-emit each window's tones into the
-/// persistent scene, then `tick` — the §6 batch idiom.
-fn run_batch(
-    seed: u64,
-    win: Duration,
-    emits: &[Emit],
-    kind: FaultKind,
-    threads: usize,
-) -> Vec<WindowOutcome> {
-    let plan = small_plan();
-    let names = device_names(&plan);
-    let mut scene = build_scene(seed, fault_plan(kind, seed, &plan, &names, win));
-    let mut heal = build_heal(plan, threads);
-
-    let mut out = Vec::new();
-    for t in 0..WINDOWS {
-        let start = win * t as u32;
-        let mut expected = Vec::new();
-        for e in emits.iter().filter(|e| e.window == t) {
-            let name = &names[e.dev];
-            // Resolve from the CURRENT plan: after an evacuation the
-            // migrated switch sounds its patched allocation.
-            let mut dev = heal
-                .plan()
-                .sounding_device(name)
-                .expect("device names persist across replans");
-            let _ = dev.emit_slot(
-                &mut scene,
-                e.slot,
-                emit_time(win, e),
-                Duration::from_millis(e.dur_ms),
-            );
-            expected.push(name.clone());
-        }
-        out.push(heal.tick(&scene, Window::new(start, win), &expected).into());
-    }
-    out
-}
-
-/// The unified loop: the same emissions as heap events, with CBR
-/// packet traffic interleaved on the same queue.
-fn run_event(
-    seed: u64,
-    win: Duration,
-    emits: &[Emit],
-    kind: FaultKind,
-    threads: usize,
-) -> Vec<WindowOutcome> {
-    let plan = small_plan();
-    let names = device_names(&plan);
-    let scene = build_scene(seed, fault_plan(kind, seed, &plan, &names, win));
-    let heal = build_heal(plan, threads);
-
+/// The drawn inputs as a scenario spec: the same 2-cell, 2×3-switch
+/// office hall the suite always used, with the schedule spelled out as
+/// explicit emissions and the fault script as spec fault entries.
+fn spec_for(seed: u64, win_ms: u64, emits: Vec<EmitSpec>, kind: FaultKind) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::small_hall(2, 2, 3, "office");
+    spec.name = "equivalence".into();
+    spec.seed = seed;
+    spec.window_ms = win_ms;
+    spec.windows = WINDOWS;
     // A live two-host network so packet Deliver/PortFree/Generate events
     // interleave with every control event on the one heap.
-    let mut net = Network::new();
-    let h1 = net.add_host("h1", Ip::v4(10, 0, 0, 1));
-    let h2 = net.add_host("h2", Ip::v4(10, 0, 0, 2));
-    let s = net.add_switch("s", 2);
-    net.connect(h1, 0, s, 0, 1_000_000_000, Duration::from_micros(20));
-    net.connect(h2, 0, s, 1, 1_000_000_000, Duration::from_micros(20));
-    net.install_rule(
-        s,
-        Rule {
-            mat: Match::ANY,
-            priority: 0,
-            action: Action::Forward(1),
-        },
-    );
-    let total = win * WINDOWS as u32;
-    net.attach_generator(
-        h1,
-        TrafficPattern::Cbr {
-            flow: FlowKey::udp(Ip::v4(10, 0, 0, 1), 7000, Ip::v4(10, 0, 0, 2), 8000),
-            pps: 500.0,
-            size: 800,
-            start: Duration::ZERO,
-            stop: total,
-        },
-    );
-
-    let mut lp = UnifiedLoop::new(net, scene, heal, win);
-    let schedule_window = |lp: &mut UnifiedLoop, t: u64| {
-        for e in emits.iter().filter(|e| e.window == t) {
-            lp.schedule_emission(
-                emit_time(win, e),
-                &names[e.dev],
-                e.slot,
-                Duration::from_millis(e.dur_ms),
-            );
-        }
+    spec.traffic = TrafficSpec {
+        topology: "pair".into(),
+        ..TrafficSpec::default()
     };
-    schedule_window(&mut lp, 0);
-
-    let horizon = win * (WINDOWS + 1) as u32;
-    let mut out: Vec<WindowOutcome> = Vec::new();
-    while (out.len() as u64) < WINDOWS {
-        match lp.step(horizon) {
-            Step::Window { report, .. } => {
-                let next = out.len() as u64 + 1;
-                if next < WINDOWS {
-                    schedule_window(&mut lp, next);
-                }
-                out.push(report.into());
-            }
-            Step::App { .. } => unreachable!("no app events scheduled"),
-            Step::Done => panic!("horizon reached before all windows closed"),
-        }
-    }
-    assert!(lp.net().events_processed() > 0, "packet traffic ran on the same heap");
-    out
+    spec.emissions = EmissionSpec {
+        pattern: "explicit".into(),
+        explicit: emits,
+        ..EmissionSpec::default()
+    };
+    let total_ms = win_ms * WINDOWS;
+    spec.faults = match kind {
+        FaultKind::None => vec![],
+        FaultKind::SpeakerDropout => vec![FaultSpec {
+            kind: "speaker_dropout".into(),
+            device: Some("c0-s0".into()),
+            at_ms: win_ms,
+            until_ms: Some(total_ms),
+            ..FaultSpec::default()
+        }],
+        FaultKind::NoiseBurst => vec![FaultSpec {
+            kind: "noise_burst".into(),
+            level_db: Some(60.0),
+            at_ms: win_ms,
+            until_ms: Some(win_ms * 2),
+            ..FaultSpec::default()
+        }],
+        FaultKind::MicDead => vec![FaultSpec {
+            kind: "mic_dead".into(),
+            cell: Some(1),
+            at_ms: win_ms,
+            until_ms: Some(total_ms),
+            ..FaultSpec::default()
+        }],
+    };
+    spec
 }
 
 proptest! {
@@ -279,39 +116,41 @@ proptest! {
         ),
         kind_sel in 0u8..4,
     ) {
-        let win = Duration::from_millis(win_ms);
         let kind = match kind_sel {
             0 => FaultKind::None,
             1 => FaultKind::SpeakerDropout,
             2 => FaultKind::NoiseBurst,
             _ => FaultKind::MicDead,
         };
-        // Time-sorted (stable) so the batch insertion order equals the
-        // heap's (time, seq) fire order — the f32 mixing contract.
-        let mut emits: Vec<Emit> = raw_emits
+        let emits: Vec<EmitSpec> = raw_emits
             .into_iter()
-            .map(|(window, permil, dev, slot, dur_ms)| Emit { window, permil, dev, slot, dur_ms })
+            .map(|(window, permil, dev, slot, dur_ms)| EmitSpec { window, permil, dev, slot, dur_ms })
             .collect();
-        emits.sort_by_key(|e| (e.window, e.permil));
+        let n_emits = emits.len();
+        let spec = spec_for(seed, win_ms, emits, kind);
 
-        let reference = run_batch(seed, win, &emits, kind, 0);
-        let mut streams = Vec::new();
+        let reference = scenario::run_batch(&spec).expect("batch reference");
         for threads in [0usize, 1, 4] {
-            let batch = run_batch(seed, win, &emits, kind, threads);
-            let event = run_event(seed, win, &emits, kind, threads);
+            let mut s = spec.clone();
+            s.selfheal.threads = threads;
+            let batch = scenario::run_batch(&s).expect("batch run");
             prop_assert_eq!(
                 &batch, &reference,
                 "batch loop diverged across thread counts (threads={})", threads
             );
+            let outcome = scenario::run(&s, &Registry::new()).expect("event run");
             prop_assert_eq!(
-                &event, &batch,
+                &outcome.windows, &batch,
                 "event loop diverged from batch (threads={})", threads
             );
-            streams.push(event);
+            prop_assert!(
+                outcome.events_total > 0,
+                "packet traffic ran on the same heap"
+            );
         }
         prop_assert!(!reference.is_empty());
         // At least the schedule's devices appear as heard-or-missed.
         let accounted: usize = reference.iter().map(|w| w.heard.len() + w.missed.len()).sum();
-        prop_assert_eq!(accounted, emits.len(), "every scheduled emission is accounted");
+        prop_assert_eq!(accounted, n_emits, "every scheduled emission is accounted");
     }
 }

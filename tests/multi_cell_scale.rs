@@ -5,8 +5,9 @@
 //! bit-identical for any shard thread count.
 
 use mdn_acoustics::ambient::AmbientProfile;
-use mdn_core::cells::{CellConfig, CellPlan, ShardEvent, ShardedController};
+use mdn_core::cells::{CellPlan, ShardEvent, ShardedController};
 use mdn_core::freqplan::{FrequencyPlan, PlanError};
+use mdn_core::scenario::{ScenarioBuilder, ScenarioSpec};
 use mdn_obs::Registry;
 use std::collections::BTreeSet;
 use std::sync::OnceLock;
@@ -16,9 +17,14 @@ use mdn_acoustics::Window;
 const SR: u32 = 44_100;
 const CELLS: usize = 20;
 
+/// The 20-cell default hall, planned through the shared scenario
+/// preset (the same hall `scenarios/scale_120.json` runs end-to-end).
 fn plan_120() -> CellPlan {
-    CellPlan::plan(CELLS, &[AmbientProfile::office()], CellConfig::default())
-        .expect("default 20-cell plan")
+    let spec = ScenarioSpec::small_hall(CELLS, 6, 8, "office");
+    ScenarioBuilder::new(&spec)
+        .expect("default 20-cell hall validates")
+        .plan()
+        .clone()
 }
 
 type EmittedScene = (

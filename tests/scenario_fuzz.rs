@@ -1,0 +1,35 @@
+//! Seeded scenario-fuzz smoke: a small fixed batch of the random specs
+//! the `scenario --fuzz` harness generates, with every standing
+//! invariant asserted — windowed ≡ batch, any-thread-count determinism,
+//! no foreign-cell leaks, exact emission accounting.
+//!
+//! CI runs the full 25-case batch in release mode through the CLI
+//! (`scenario --fuzz 25 --seed 7`); this test keeps a debug-sized slice
+//! of the same coverage inside `cargo test`.
+
+use mdn_core::scenario::fuzz;
+
+#[test]
+fn seeded_fuzz_batch_holds_all_invariants() {
+    let report = fuzz(2, 7).expect("fuzz invariants hold");
+    assert_eq!(report.cases, 2);
+    // Every case runs 2–3 windows on the batch reference plus three
+    // event-path thread counts.
+    assert!(
+        report.windows_checked >= 16,
+        "only {} window reports compared",
+        report.windows_checked
+    );
+    assert!(
+        report.emissions_checked >= 6,
+        "only {} emissions scheduled",
+        report.emissions_checked
+    );
+}
+
+/// The same seed generates the same cases — a failing case's number and
+/// seed reproduce it exactly.
+#[test]
+fn fuzz_batches_are_reproducible() {
+    assert_eq!(fuzz(2, 11).unwrap(), fuzz(2, 11).unwrap());
+}

@@ -21,19 +21,25 @@
 //! recovers in place. Both recovery times land in the health tracker's
 //! MTTR ledger, exactly where the seeded timeline says they must.
 //!
+//! The hall, the fault script, and the sonification schedule all come
+//! from `scenarios/chaos_selfheal.json` via [`ScenarioBuilder`] — the
+//! same spec the CI scenario matrix runs end-to-end through the unified
+//! loop. This suite keeps its own per-tick loop because it exercises
+//! what the spec deliberately holds fixed: a fresh scene each tick with
+//! the ambient bed drifting ~0.8 dB louder every time, forcing the
+//! streaming estimator to keep the floors tracking.
+//!
 //! Everything is driven by one scenario seed, so the whole outcome —
 //! per-tick hear/miss sets, the replan instant, MTTR samples, metrics,
 //! journal — is bit-for-bit reproducible.
 
-use mdn_acoustics::ambient::AmbientProfile;
-use mdn_acoustics::faults::{SceneFaultPlan, Window};
+use mdn_acoustics::faults::Window;
 use mdn_acoustics::scene::Scene;
-use mdn_core::cells::{CellConfig, CellPlan};
-use mdn_core::selfheal::SelfHealingController;
+use mdn_core::cells::CellPlan;
+use mdn_core::scenario::{ScenarioBuilder, ScenarioSpec};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-const SR: u32 = 44_100;
 const TICK: Duration = Duration::from_millis(300);
 const MS: fn(u64) -> Duration = Duration::from_millis;
 
@@ -42,14 +48,33 @@ const SEED: u64 = 2018;
 
 /// Ticks in the run (4.5 s total).
 const TICKS: u64 = 15;
-/// Both faults land here: start of tick 4.
-const FAULT_AT: Duration = Duration::from_millis(1200);
-/// The speaker dropout ends here (the mic stays dead to the end).
-const SPEAKER_BACK: Duration = Duration::from_millis(2400);
 /// The cell whose mic dies.
 const DEAD_CELL: usize = 1;
 /// The switch whose speaker drops out.
 const DEAD_SPEAKER: &str = "c2-s0";
+
+const SPEC_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/chaos_selfheal.json");
+
+/// The checked-in chaos spec. The constants above are the seeded
+/// timeline this suite asserts tick by tick — fail loudly here if the
+/// spec file ever drifts away from them.
+fn chaos_spec() -> ScenarioSpec {
+    let spec = ScenarioSpec::load(SPEC_PATH).expect("load chaos scenario spec");
+    assert_eq!(spec.window(), TICK, "spec window drifted from the timeline");
+    assert_eq!(spec.windows, TICKS);
+    assert_eq!(spec.seed, SEED);
+    assert_eq!(spec.faults[0].cell, Some(DEAD_CELL));
+    assert_eq!(spec.faults[1].device.as_deref(), Some(DEAD_SPEAKER));
+    spec
+}
+
+/// The four-cell hall the spec plans.
+fn chaos_plan() -> CellPlan {
+    ScenarioBuilder::new(&chaos_spec())
+        .expect("chaos spec validates")
+        .plan()
+        .clone()
+}
 
 /// Everything observable about one scenario run, for exact comparison.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,32 +100,22 @@ struct ScenarioOutcome {
     recovery_hist: Option<(u64, u64)>,
 }
 
-/// Run the chaos scenario: `TICKS` ticks of all-switches traffic over a
-/// drifting ambient bed, with the mic kill and speaker dropout injected
-/// at `FAULT_AT` when `inject` is set.
+/// Run the chaos scenario: the spec's schedule over a drifting ambient
+/// bed, with the spec's fault script injected when `inject` is set.
 fn run_scenario(seed: u64, inject: bool) -> ScenarioOutcome {
     let registry = mdn_obs::Registry::new();
-    let plan = CellPlan::plan(
-        4,
-        &[AmbientProfile::quiet()],
-        CellConfig {
-            switches_per_cell: 2,
-            slots_per_switch: 3,
-            ..CellConfig::default()
-        },
-    )
-    .unwrap();
-    let dead_mic = plan.cells()[DEAD_CELL].mic_pos;
-    let total = TICK * TICKS as u32;
-    let faults = if inject {
-        SceneFaultPlan::new(seed)
-            .mic_dead_at(dead_mic, 1.0, Window::between(FAULT_AT, total))
-            .speaker_dropout(DEAD_SPEAKER, Window::between(FAULT_AT, SPEAKER_BACK))
-    } else {
-        SceneFaultPlan::new(seed)
-    };
+    let mut spec = chaos_spec();
+    spec.seed = seed;
+    if !inject {
+        spec.faults.clear();
+    }
+    let builder = ScenarioBuilder::new(&spec).expect("chaos spec validates");
+    let faults = builder.scene_faults().expect("fault script lowers");
+    let base_ambient = builder.ambient().clone();
+    let slot = spec.emissions.slot.expect("chaos schedule pins one slot");
+    let (offset, dur) = (MS(spec.emissions.offset_ms), MS(spec.emissions.duration_ms));
 
-    let mut loop_ = SelfHealingController::new(plan);
+    let mut loop_ = builder.heal();
     loop_.attach_obs(&registry);
 
     let mut out = ScenarioOutcome {
@@ -117,25 +132,24 @@ fn run_scenario(seed: u64, inject: bool) -> ScenarioOutcome {
         recovery_hist: None,
     };
     let (mut expected_ticks, mut heard_ticks) = (0u64, 0u64);
-    for t in 0..TICKS {
+    for t in 0..spec.windows {
         let start = TICK * t as u32;
         // The ambient bed drifts ~0.8 dB louder every tick — the
         // estimator must keep the floors tracking it.
-        let mut profile = AmbientProfile::quiet();
-        profile.level_spl += 12.0 * t as f64 / TICKS as f64;
-        let mut scene = Scene::new(SR, profile);
+        let mut profile = base_ambient.clone();
+        profile.level_spl += 12.0 * t as f64 / spec.windows as f64;
+        let mut scene = Scene::new(spec.sample_rate, profile);
         scene.set_ambient_seed(seed ^ t);
         scene.set_faults(faults.clone());
 
-        // Every switch of the CURRENT plan sounds slot 0 — after a
-        // replan, migrated switches sound their new frequencies from
-        // their original rack positions.
+        // Every switch of the CURRENT plan sounds the spec's slot —
+        // after a replan, migrated switches sound their new frequencies
+        // from their original rack positions.
         let mut expected = Vec::new();
         for cell_devs in &mut loop_.plan().sounding_devices() {
             for dev in cell_devs {
                 expected.push(dev.name.clone());
-                dev.emit_slot(&mut scene, 0, start + MS(50), MS(150))
-                    .unwrap();
+                dev.emit_slot(&mut scene, slot, start + offset, dur).unwrap();
             }
         }
         expected_ticks += expected.len() as u64;
@@ -156,7 +170,7 @@ fn run_scenario(seed: u64, inject: bool) -> ScenarioOutcome {
                 .expect("recovered without MTTR");
             out.recoveries.insert(d.clone(), (end, took));
         }
-        if t == TICKS - 1 {
+        if t == spec.windows - 1 {
             out.final_heard = r.heard.clone();
         }
     }
@@ -209,16 +223,7 @@ fn mic_kill_and_speaker_dropout_self_heal() {
     // Both of cell 1's switches migrated to the same neighbouring host
     // and decode there — on frequencies disjoint from their old ones
     // (the host's sub-band spares, not cell 1's band).
-    let original = CellPlan::plan(
-        4,
-        &[AmbientProfile::quiet()],
-        CellConfig {
-            switches_per_cell: 2,
-            slots_per_switch: 3,
-            ..CellConfig::default()
-        },
-    )
-    .unwrap();
+    let original = chaos_plan();
     let old_freqs: Vec<f64> = original.cells()[DEAD_CELL]
         .sets
         .iter()
@@ -354,18 +359,9 @@ fn selfheal_metrics_and_journal_replay_the_run() {
 /// itself re-proved reuse; this re-checks the final plan from scratch.
 #[test]
 fn patched_plan_passes_verify_reuse() {
-    let plan = CellPlan::plan(
-        4,
-        &[AmbientProfile::quiet()],
-        CellConfig {
-            switches_per_cell: 2,
-            slots_per_switch: 3,
-            ..CellConfig::default()
-        },
-    )
-    .unwrap();
-    let patched = plan.replan_without_cell(DEAD_CELL).unwrap();
-    patched.verify_reuse(SR).unwrap();
+    let spec = chaos_spec();
+    let patched = chaos_plan().replan_without_cell(DEAD_CELL).unwrap();
+    patched.verify_reuse(spec.sample_rate).unwrap();
 }
 
 /// Inversion: the same loop with no faults injected never replans, never
